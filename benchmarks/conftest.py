@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench reproduces one table/figure of the paper (see DESIGN.md
+section 4).  Benches default to the /4-scaled configuration (same
+utilization operating points, ~4x faster); set ``REPRO_FULL_SCALE=1``
+to run the paper-scale setup.  Each bench writes its series to
+``benchmarks/results/*.csv`` and prints an ASCII rendering of the
+figure (run pytest with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.configs import benchmark_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The benchmark simulation configuration."""
+    return benchmark_config()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark a full experiment exactly once and return its value.
+
+    Reproduction runs take seconds; pedantic single-round timing keeps
+    the harness honest about cost without re-running experiments.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Ablation C — buffer size K for constant-quality encoders.
+
+Section 3's discussion: "using buffers may not completely eliminate
+frame skips, implies additional cost and increases latency".  The sweep
+measures, for constant q in {3, 4, 5} and K in {1..4}: skip counts
+(non-increasing in K, rarely zero) and worst-case latency (growing with
+K) — quantifying the trade the controlled encoder avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sim.runner import run_constant, run_controlled
+
+from conftest import run_once
+
+CAPACITIES = (1, 2, 3, 4)
+QUALITIES = (3, 4, 5)
+
+
+def test_buffer_sweep(benchmark, config, results_dir):
+    def runs():
+        table = {}
+        for quality in QUALITIES:
+            for capacity in CAPACITIES:
+                cfg = replace(config, buffer_capacity=capacity)
+                table[(quality, capacity)] = run_constant(quality, cfg)
+        return table
+
+    results = run_once(benchmark, runs)
+    print("\nskips by (quality, K):")
+    print(f"{'q':>3} " + " ".join(f"K={k:<6}" for k in CAPACITIES))
+    with open(results_dir / "ablation_buffers.csv", "w") as handle:
+        handle.write("quality,capacity,skips,max_latency_over_P\n")
+        for quality in QUALITIES:
+            row = []
+            for capacity in CAPACITIES:
+                result = results[(quality, capacity)]
+                row.append(result.skip_count)
+                handle.write(
+                    f"{quality},{capacity},{result.skip_count},"
+                    f"{result.max_latency() / config.period:.3f}\n"
+                )
+            print(f"{quality:>3} " + " ".join(f"{v:<8}" for v in row))
+
+    for quality in QUALITIES:
+        skips = [results[(quality, k)].skip_count for k in CAPACITIES]
+        # more buffering never hurts
+        assert all(a >= b for a, b in zip(skips, skips[1:])), (
+            f"skips must be non-increasing in K at q={quality}: {skips}"
+        )
+        # latency is the price: max latency grows with K when queues form
+        # (no upper bound holds for uncontrolled encoders — their encode
+        # times respect no deadline, which is itself the point)
+        latencies = [results[(quality, k)].max_latency() for k in CAPACITIES]
+        assert latencies[-1] >= latencies[0]
+
+    # q=5 overloads on average: even K=4 cannot eliminate its skips
+    assert results[(5, 4)].skip_count > 0, (
+        "buffers cannot fix a sustained average overload (paper section 3)"
+    )
+
+
+def test_controlled_needs_no_buffering(benchmark, config):
+    """The controlled encoder at K=1 beats every buffered constant-q run
+    on the skip metric (zero), at the minimum possible latency."""
+    controlled = run_once(benchmark, run_controlled, config)
+    assert controlled.skip_count == 0
+    assert controlled.max_latency() <= config.period + 1e-6

@@ -1,0 +1,89 @@
+"""Ablation B — the two halves of Qual_Const.
+
+``Qual_Const = Qual_Const_av AND Qual_Const_wc``; section 4 notes that
+for *soft* deadlines the quality manager applies only the average
+constraint.  The sweep runs each constraint mode:
+
+* ``average`` (soft mode): more optimistic — equal or higher quality,
+  but budget overruns become possible (no worst-case landing path);
+* ``worst`` (safety only): never misses but ignores expected times, so
+  it overshoots quality when averages are far below worst cases and
+  oscillates against the safety wall;
+* ``both`` (the paper): hard-deadline safety *and* average-optimal
+  budget filling.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import comparison_table
+from repro.sim.runner import run_controlled
+
+from conftest import run_once
+
+MODES = ("both", "average", "worst")
+
+
+def test_constraint_mode_sweep(benchmark, config, results_dir):
+    def runs():
+        return {mode: run_controlled(config, constraint_mode=mode) for mode in MODES}
+
+    results = run_once(benchmark, runs)
+    print()
+    print(comparison_table([results[m] for m in MODES]))
+    with open(results_dir / "ablation_constraints.csv", "w") as handle:
+        handle.write("mode,mean_quality,mean_psnr,skips,misses,utilization\n")
+        for mode in MODES:
+            r = results[mode]
+            handle.write(
+                f"{mode},{r.mean_quality():.4f},{r.mean_psnr():.4f},"
+                f"{r.skip_count},{r.deadline_miss_count},{r.mean_utilization():.4f}\n"
+            )
+
+    both = results["both"]
+    soft = results["average"]
+    safety_only = results["worst"]
+
+    # the paper's mode is safe
+    assert both.deadline_miss_count == 0
+    assert both.skip_count == 0
+
+    # soft mode is at least as aggressive on quality
+    assert soft.mean_quality() >= both.mean_quality() - 1e-9
+
+    # and the full predicate is exactly the conjunction: its quality
+    # cannot exceed the soft mode's anywhere
+    assert both.mean_quality() <= soft.mean_quality() + 1e-9
+
+    # safety-only mode stays safe too (it *is* the safety half)...
+    assert safety_only.deadline_miss_count == 0
+    # ...but ignoring averages costs utilization efficiency: it rides
+    # into the worst-case wall and then must land at qmin, losing more
+    # smoothness than the combined predicate
+    assert safety_only.quality_smoothness() > both.quality_smoothness()
+
+
+def test_soft_mode_appropriate_for_soft_deadlines(benchmark, config):
+    """Soft mode overruns — moderately often, but only mildly.
+
+    Filling the budget to 100 % *in expectation* means roughly every
+    other saturated frame lands past its budget; that is the soft-mode
+    contract (misses tolerated, quality maximized).  What must hold is
+    that overruns are shallow: the average constraint still tracks the
+    remaining work, so the overshoot is one action's tail, not a blowup.
+    """
+    soft = run_once(benchmark, run_controlled, config, "average")
+    hard = run_controlled(config, constraint_mode="both")
+    overruns = [
+        (f.encode_cycles - f.budget) / f.budget
+        for f in soft.frames
+        if f.missed_budget
+    ]
+    print(f"\nsoft mode: {len(overruns)} overruns / {len(soft.frames)} frames")
+    assert overruns, "soft mode at full utilization should overrun sometimes"
+    assert len(overruns) <= len(soft.frames) * 0.5
+    # overshoots are shallow
+    import numpy as np
+
+    assert float(np.percentile(overruns, 95)) < 0.25
+    # and the reward is equal-or-better quality than the hard mode
+    assert soft.mean_quality() >= hard.mean_quality() - 1e-9

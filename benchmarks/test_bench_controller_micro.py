@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the controller's runtime operations.
+
+These support the paper's <1.5 % runtime-overhead claim from the other
+side: the per-decision work is a handful of table lookups, constant in
+the schedule length and linear in |Q|.  Also times table construction
+(the tool's offline cost) and contrasts the O(n^2 |Q|)-per-cycle
+reference controller against the compiled one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.controller import ReferenceController
+from repro.core.fast_controller import TableDrivenController
+from repro.core.tables import ControllerTables
+from repro.experiments.paper_data import PAPER
+from repro.video.pipeline import macroblock_application
+
+MICRO_MACROBLOCKS = 60
+BUDGET = PAPER.period * MICRO_MACROBLOCKS / PAPER.macroblocks
+
+
+def _system():
+    return macroblock_application(MICRO_MACROBLOCKS).system(budget=BUDGET)
+
+
+def test_per_decision_cost(benchmark):
+    """One quality decision: the operation charged ~200 cycles on-target."""
+    system = _system()
+    tables = ControllerTables.from_system(system)
+    positions = np.random.default_rng(0).integers(0, len(tables.schedule), 512)
+    elapsed = np.random.default_rng(1).uniform(0, BUDGET, 512)
+    state = {"i": 0}
+
+    def decide_once():
+        i = state["i"] = (state["i"] + 1) % 512
+        return tables.max_feasible_quality(int(positions[i]), float(elapsed[i]))
+
+    result = benchmark(decide_once)
+    assert result is None or result in system.quality_set
+
+
+def test_table_construction_cost(benchmark):
+    """The tool's offline cost: building tables for a full frame schedule."""
+    system = _system()
+    tables = benchmark(ControllerTables.from_system, system)
+    assert tables.average_bound.shape == (9 * MICRO_MACROBLOCKS, 8)
+
+
+def test_compiled_cycle_vs_reference_cycle(benchmark):
+    """A full controlled cycle through the compiled controller."""
+    system = _system()
+    controller = TableDrivenController(system)
+    time_of = lambda action, quality: system.average_times.time(action, quality)
+
+    def run_cycle():
+        return controller.run_cycle(time_of)
+
+    result = benchmark(run_cycle)
+    assert result.total_time <= BUDGET
+
+
+def test_reference_cycle_cost(benchmark):
+    """The uncompiled abstract algorithm on a (much smaller) instance.
+
+    Kept tiny: the reference controller re-runs EDF per candidate
+    quality at every step — the cost the compilation step removes.
+    """
+    system = macroblock_application(2).system(budget=BUDGET * 2 / MICRO_MACROBLOCKS)
+    controller = ReferenceController(system)
+    time_of = lambda action, quality: system.average_times.time(action, quality)
+
+    def run_cycle():
+        return controller.run_cycle(time_of)
+
+    result = benchmark(run_cycle)
+    assert len(result.qualities) == 18

@@ -1,0 +1,108 @@
+"""Fig. 5 — the execution-time tables, and their recovery by profiling.
+
+The table itself is paper input data; what this bench reproduces is the
+*timing analysis* stage of Fig. 4: execute every action at every
+quality level on the simulated platform and check that profiling
+recovers tables equivalent to the published ones (means within
+tolerance, worst cases bounded by the published Cwc times the safety
+margin).  The timed section is the profiling pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.distributions import BoundedTimeDistribution
+from repro.tool.timing_analysis import TimingProfile, estimate_tables_from_profile
+from repro.video.pipeline import (
+    ENCODER_QUALITY_LEVELS,
+    FIXED_ACTION_TIMES,
+    MACROBLOCK_ACTIONS,
+    ME_ACTION,
+    MOTION_ESTIMATE_TIMES,
+    paper_timing_tables,
+)
+
+from conftest import run_once
+
+#: Enough samples that the mean of even the most skewed law (Compress:
+#: Cav 5k, Cwc 50k) settles within the tolerance below.
+SAMPLES_PER_CELL = 1500
+
+
+def profile_platform(seed: int = 11) -> TimingProfile:
+    """Execute every (action, level) repeatedly and collect durations."""
+    rng = np.random.default_rng(seed)
+    profile = TimingProfile()
+    for action in MACROBLOCK_ACTIONS:
+        for q in ENCODER_QUALITY_LEVELS:
+            if action == ME_ACTION:
+                average, worst = MOTION_ESTIMATE_TIMES[q]
+            else:
+                average, worst = FIXED_ACTION_TIMES[action]
+            distribution = BoundedTimeDistribution(average=average, ceiling=worst)
+            for duration in distribution.sample_many(rng, SAMPLES_PER_CELL):
+                profile.add(action, q, float(duration))
+    return profile
+
+
+def test_fig5_tables_recovered_by_profiling(benchmark, results_dir):
+    profile = run_once(benchmark, profile_platform)
+    average, worst = estimate_tables_from_profile(
+        profile, ENCODER_QUALITY_LEVELS, wcet_margin=1.2
+    )
+    published_av, published_wc = paper_timing_tables()
+
+    print("\nFig. 5 (published vs profiled averages), Motion_Estimate:")
+    print(f"{'q':>2} {'Cav pub':>10} {'Cav est':>10} {'Cwc pub':>10} {'Cwc est(+20%)':>13}")
+    rows = []
+    for q in ENCODER_QUALITY_LEVELS:
+        pub_av = published_av.time(ME_ACTION, q)
+        est_av = average.time(ME_ACTION, q)
+        pub_wc = published_wc.time(ME_ACTION, q)
+        est_wc = worst.time(ME_ACTION, q)
+        print(f"{q:>2} {pub_av:>10.0f} {est_av:>10.0f} {pub_wc:>10.0f} {est_wc:>13.0f}")
+        rows.append((q, pub_av, est_av, pub_wc, est_wc))
+    with open(results_dir / "fig5_motion_estimate.csv", "w") as handle:
+        handle.write("q,cav_published,cav_estimated,cwc_published,cwc_estimated\n")
+        for row in rows:
+            handle.write(",".join(str(v) for v in row) + "\n")
+
+    # profiled averages track the published means
+    for action in MACROBLOCK_ACTIONS:
+        for q in ENCODER_QUALITY_LEVELS:
+            published = published_av.time(action, q)
+            estimated = average.time(action, q)
+            if published > 0:
+                assert abs(estimated - published) / published < 0.12, (
+                    f"{action} q={q}: profiled mean {estimated} vs {published}"
+                )
+    # profiled worst cases never exceed margin * published Cwc
+    for action in MACROBLOCK_ACTIONS:
+        for q in ENCODER_QUALITY_LEVELS:
+            assert worst.time(action, q) <= 1.2 * published_wc.time(action, q) + 1e-9
+    # and the estimated tables satisfy the model's own invariants
+    from repro.core.timing import QualityTimeTable
+
+    QualityTimeTable.validate_bounds(average, worst)
+
+
+def test_fig5_published_table_invariants(benchmark):
+    """The published tables satisfy Definition 2.3 (monotone, Cav<=Cwc)."""
+
+    def build():
+        return paper_timing_tables()
+
+    average, worst = run_once(benchmark, build)
+    previous_av = previous_wc = 0.0
+    for q in ENCODER_QUALITY_LEVELS:
+        av = average.time(ME_ACTION, q)
+        wc = worst.time(ME_ACTION, q)
+        assert av <= wc
+        assert av >= previous_av
+        assert wc >= previous_wc
+        previous_av, previous_wc = av, wc
+    # only Motion_Estimate depends on the quality level
+    for action in MACROBLOCK_ACTIONS:
+        depends = average.depends_on_quality(action) or worst.depends_on_quality(action)
+        assert depends == (action == ME_ACTION)

@@ -1,0 +1,68 @@
+"""Fig. 6 — time budget utilization: controlled (K=1) vs constant q=3 (K=1).
+
+Expected shape (paper, section 3):
+
+* the controlled encoder never misses its budget and never causes a
+  frame skip at K=1, while filling most of the budget (optimal
+  utilization);
+* constant q=3 fluctuates with the load and overruns the period in the
+  two high-motion regions, producing two bursts of frame skips;
+* encoding time drops at I-frames (sequence changes) for both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.metrics import (
+    burst_count,
+    encoding_time_drops_at_iframes,
+    utilization_statistics,
+)
+from repro.analysis.report import comparison_table
+from repro.experiments.figures import figure6_budget_vs_q3
+
+from conftest import run_once
+
+
+def test_figure6(benchmark, config, results_dir):
+    data = run_once(benchmark, figure6_budget_vs_q3, config)
+    controlled, baseline = data.controlled, data.baseline
+
+    print()
+    print(ascii_plot(
+        data.series(),
+        title=f"Figure 6 (reproduced): {data.description}",
+        y_label="Mcycle",
+    ))
+    print(comparison_table([controlled, baseline]))
+    controlled.to_csv(results_dir / "fig6_controlled.csv")
+    baseline.to_csv(results_dir / "fig6_constant_q3.csv")
+
+    # --- controlled: safety and optimal budget use -------------------
+    assert controlled.skip_count == 0, "controlled encoder must never skip at K=1"
+    assert controlled.deadline_miss_count == 0, "controlled encoder must meet every budget"
+    stats = utilization_statistics(controlled)
+    assert stats.mean > 0.80, f"budget utilization should be high, got {stats.mean:.3f}"
+    assert stats.p95 <= 1.0 + 1e-9
+
+    # --- constant q3: load tracking, overruns, skip bursts -----------
+    q3_stats = utilization_statistics(baseline)
+    assert baseline.skip_count > 0, "constant q=3 must skip under the motion bursts"
+    assert q3_stats.p95 > 1.0, "constant q=3 overruns the period in bursts"
+    assert burst_count(baseline.skipped_indices()) == 2, (
+        "skips concentrate in the two high-motion sequences"
+    )
+
+    # --- controlled fills the budget the baseline wastes -------------
+    assert stats.mean > q3_stats.mean
+
+    # --- I-frame dips visible in both series --------------------------
+    assert encoding_time_drops_at_iframes(controlled) >= 6
+    assert encoding_time_drops_at_iframes(baseline) >= 6
+
+    # --- quality adapts within its range ------------------------------
+    qualities = controlled.quality_series()
+    assert np.nanmax(qualities) > 3.0, "easy content should reach above q3"
+    assert np.nanmin(qualities) >= 0.0

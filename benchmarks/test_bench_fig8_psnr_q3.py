@@ -1,0 +1,73 @@
+"""Fig. 8 — PSNR per frame: controlled (K=1) vs constant q=3 (K=1).
+
+Expected shape (paper, section 3):
+
+* controlled PSNR is higher than constant q=3 *except* inside the skip
+  regions, where the baseline spends the skipped frames' bits (its
+  PSNR rises there while its displayed frame rate halves);
+* skipped frames compare the redisplayed previous frame against the
+  input, scoring low PSNR (e.g. below 25);
+* PSNR jumps at sequence changes (I-frames) for both encoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.metrics import psnr_advantage
+from repro.analysis.report import comparison_table
+from repro.experiments.figures import figure8_psnr_vs_q3
+from repro.experiments.paper_data import PAPER
+
+from conftest import run_once
+
+
+def test_figure8(benchmark, config, results_dir):
+    data = run_once(benchmark, figure8_psnr_vs_q3, config)
+    controlled, baseline = data.controlled, data.baseline
+
+    print()
+    print(ascii_plot(
+        data.series(),
+        title=f"Figure 8 (reproduced): {data.description}",
+        y_label="PSNR",
+        y_min=15.0,
+    ))
+    print(comparison_table([controlled, baseline]))
+    comparison = psnr_advantage(controlled, baseline)
+    print(
+        f"PSNR advantage outside skip regions: {comparison.advantage_outside:+.2f} dB; "
+        f"inside: {comparison.advantage_inside:+.2f} dB; "
+        f"inside vs encoded-only: {comparison.advantage_inside_encoded:+.2f} dB "
+        f"({comparison.baseline_skip_count} baseline skips)"
+    )
+    controlled.to_csv(results_dir / "fig8_controlled.csv")
+    baseline.to_csv(results_dir / "fig8_constant_q3.csv")
+
+    # --- controlled wins outside skip regions --------------------------
+    assert comparison.advantage_outside > 0.3, (
+        f"controlled should clearly beat constant q=3 outside skip regions, "
+        f"got {comparison.advantage_outside:+.2f} dB"
+    )
+
+    # --- the baseline's skipped frames score below the paper's bound ---
+    psnr = baseline.psnr_series()
+    for index in baseline.skipped_indices():
+        assert psnr[index] < PAPER.skip_psnr_bound, (
+            f"skipped frame {index} scored {psnr[index]:.1f} dB"
+        )
+
+    # --- inside skip regions the baseline's *encoded* frames benefit
+    #     from the freed bits: the controlled encoder's margin shrinks
+    #     (and typically flips) there — the paper's crossover ----------
+    if comparison.region_size > 4:
+        assert comparison.advantage_inside_encoded < comparison.advantage_outside
+
+    # --- controlled never skips: its PSNR never collapses -------------
+    assert controlled.skip_count == 0
+    assert float(np.min(controlled.psnr_series())) > PAPER.skip_psnr_bound
+
+    # --- both stay in the figure's plausible band ----------------------
+    encoded = [f.psnr for f in controlled.frames]
+    assert 28.0 < float(np.mean(encoded)) < 45.0

@@ -1,0 +1,67 @@
+"""Fig. 9 — PSNR per frame: controlled (K=1) vs constant q=4 (K=2).
+
+With K=2, constant q=4 becomes usable and its PSNR gets close to the
+controlled encoder's — but it still skips frames in the high-motion
+bursts (PSNR collapses there) and pays double the latency.  The
+controlled encoder matches or beats it outside skip regions with K=1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.metrics import psnr_advantage
+from repro.analysis.report import comparison_table
+from repro.experiments.figures import figure9_psnr_vs_q4
+from repro.experiments.paper_data import PAPER
+
+from conftest import run_once
+
+
+def test_figure9(benchmark, config, results_dir):
+    data = run_once(benchmark, figure9_psnr_vs_q4, config)
+    controlled, baseline = data.controlled, data.baseline
+
+    print()
+    print(ascii_plot(
+        data.series(),
+        title=f"Figure 9 (reproduced): {data.description}",
+        y_label="PSNR",
+        y_min=15.0,
+    ))
+    print(comparison_table([controlled, baseline]))
+    comparison = psnr_advantage(controlled, baseline)
+    print(
+        f"PSNR advantage outside skip regions: {comparison.advantage_outside:+.2f} dB; "
+        f"inside: {comparison.advantage_inside:+.2f} dB "
+        f"({comparison.baseline_skip_count} baseline skips)"
+    )
+    controlled.to_csv(results_dir / "fig9_controlled.csv")
+    baseline.to_csv(results_dir / "fig9_constant_q4_k2.csv")
+
+    # --- controlled at least matches q4/K2 outside skip regions -------
+    assert comparison.advantage_outside > -0.25, (
+        f"controlled (K=1) should not lose to constant q=4 (K=2) outside "
+        f"skip regions, got {comparison.advantage_outside:+.2f} dB"
+    )
+
+    # --- the baseline still skips; controlled does not ----------------
+    assert baseline.skip_count > 0
+    assert controlled.skip_count == 0
+    psnr = baseline.psnr_series()
+    skipped_psnr = [psnr[i] for i in baseline.skipped_indices()]
+    assert max(skipped_psnr) < PAPER.skip_psnr_bound
+
+    # --- overloads degrade the controlled encoder smoothly, not abruptly
+    controlled_psnr = controlled.psnr_series()
+    assert float(np.min(controlled_psnr)) > PAPER.skip_psnr_bound
+    frame_deltas = np.abs(np.diff(controlled_psnr))
+    # excluding I-frame jumps, consecutive-frame PSNR moves stay bounded
+    iframe_neighbours = {
+        i - 1 for i, f in enumerate(controlled.frames) if f.is_iframe
+    } | {i for i, f in enumerate(controlled.frames) if f.is_iframe}
+    smooth_deltas = [
+        d for i, d in enumerate(frame_deltas) if i not in iframe_neighbours
+    ]
+    assert float(np.percentile(smooth_deltas, 99)) < 6.0

@@ -1,0 +1,94 @@
+"""Extension bench — online average-time learning (paper section 4).
+
+"We actively work in several directions to improve the prototype tool:
+... application of learning techniques for better estimation of the
+average execution times."
+
+Scenario: the deployed platform is systematically 25 % slower than the
+profiled one (``time_bias=1.25``) — the *average* tables are wrong, the
+worst-case tables still hold.  Three runs:
+
+* nominal platform, static tables (reference point);
+* biased platform, static tables — safe (Cwc untouched) but the
+  controller keeps over-promising early in each frame and correcting
+  late: quality churns;
+* biased platform, EWMA-learned averages with periodic table
+  regeneration — same safety, decisions re-calibrated: churn drops
+  back toward the nominal level.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import comparison_table
+from repro.sim.encoder_loop import EncoderSimulation
+
+from conftest import run_once
+
+BIAS = 1.25
+
+
+def test_learning_recalibrates_decisions(benchmark, config, results_dir):
+    simulation = EncoderSimulation(config)
+
+    def runs():
+        return {
+            "nominal": simulation.run_controlled(label="static tables, true platform"),
+            "static": simulation.run_controlled(
+                time_bias=BIAS, label=f"static tables, {BIAS}x platform"
+            ),
+            "learning": simulation.run_learning_controlled(
+                time_bias=BIAS, relearn_every=25,
+                label=f"EWMA-learned tables, {BIAS}x platform",
+            ),
+        }
+
+    results = run_once(benchmark, runs)
+    print()
+    print(comparison_table(list(results.values())))
+    print(f"within-frame churn: nominal={results['nominal'].mean_quality_churn():.4f} "
+          f"static={results['static'].mean_quality_churn():.4f} "
+          f"learning={results['learning'].mean_quality_churn():.4f}")
+    with open(results_dir / "learning.csv", "w") as handle:
+        handle.write("run,mean_quality,mean_psnr,churn,skips,misses\n")
+        for name, r in results.items():
+            handle.write(
+                f"{name},{r.mean_quality():.4f},{r.mean_psnr():.4f},"
+                f"{r.mean_quality_churn():.4f},{r.skip_count},"
+                f"{r.deadline_miss_count}\n"
+            )
+
+    nominal, static, learning = (
+        results["nominal"], results["static"], results["learning"]
+    )
+
+    # safety is table-accuracy-independent: Cwc still bounds everything
+    for result in results.values():
+        assert result.skip_count == 0
+        assert result.deadline_miss_count == 0
+
+    # the slower platform costs quality either way (physics)
+    assert static.mean_quality() < nominal.mean_quality() - 0.5
+    assert learning.mean_quality() < nominal.mean_quality() - 0.5
+
+    # learning's payoff: accurate averages -> fewer late in-frame
+    # corrections -> visibly less quality churn at equal quality
+    assert learning.mean_quality_churn() < 0.85 * static.mean_quality_churn()
+    assert abs(learning.mean_quality() - static.mean_quality()) < 0.3
+    assert learning.mean_psnr() > static.mean_psnr() - 0.3
+
+
+def test_learning_is_neutral_on_a_calibrated_platform(benchmark, config):
+    """With correct priors, learning must not disturb the controller."""
+    simulation = EncoderSimulation(config)
+
+    def runs():
+        return (
+            simulation.run_controlled(),
+            simulation.run_learning_controlled(time_bias=1.0, relearn_every=25),
+        )
+
+    static, learning = run_once(benchmark, runs)
+    assert learning.skip_count == 0
+    assert learning.deadline_miss_count == 0
+    assert abs(learning.mean_quality() - static.mean_quality()) < 0.25
+    assert abs(learning.mean_psnr() - static.mean_psnr()) < 0.5

@@ -1,0 +1,72 @@
+"""Proposition 2.1 — safety and optimal budget utilization, at system scale.
+
+The unit/property suites prove the proposition on small random systems;
+this bench exercises it on the paper's encoder under adversarial
+execution-time draws:
+
+* safety: zero deadline misses across every seed and load profile as
+  long as actual times respect ``C <= Cwc_theta``;
+* optimality: the realized budget utilization approaches 1 whenever
+  the load suffices (the controller raises quality rather than idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.metrics import utilization_statistics
+from repro.sim.runner import run_controlled
+
+from conftest import run_once
+
+
+def test_safety_across_seeds(benchmark, config):
+    def runs():
+        return [run_controlled(replace(config, seed=seed)) for seed in (1, 2, 3)]
+
+    results = run_once(benchmark, runs)
+    print()
+    for result in results:
+        stats = utilization_statistics(result)
+        print(
+            f"seed run {result.label}: skips={result.skip_count} "
+            f"misses={result.deadline_miss_count} util={stats.mean:.3f}"
+        )
+        assert result.skip_count == 0
+        assert result.deadline_miss_count == 0
+        assert result.degraded_step_count == 0
+
+
+def test_safety_under_hostile_load(benchmark, config):
+    """A hotter load model pushes every draw toward the worst case."""
+    from repro.video.content import MotionLoadModel
+
+    hostile = replace(
+        config,
+        load_model=MotionLoadModel(base=0.9, slope=1.3),
+        concentration=2.0,  # wild, heavy-spread execution times
+    )
+    result = run_once(benchmark, run_controlled, hostile)
+    print(f"\nhostile load: skips={result.skip_count} misses={result.deadline_miss_count} "
+          f"mean quality={result.mean_quality():.2f}")
+    assert result.skip_count == 0
+    assert result.deadline_miss_count == 0
+    # the controller survives by dropping quality, not by missing deadlines
+    assert result.mean_quality() < run_controlled(config).mean_quality()
+
+
+def test_optimal_budget_utilization(benchmark, config):
+    result = run_once(benchmark, run_controlled, config)
+    stats = utilization_statistics(result)
+    print(f"\nutilization: mean={stats.mean:.3f} p5={stats.p5:.3f} p95={stats.p95:.3f}")
+    # fills the budget...
+    assert stats.mean > 0.85
+    assert stats.median > 0.9
+    # ...but never exceeds it
+    assert stats.p95 <= 1.0 + 1e-9
+    assert stats.above_budget_frames == 0
+    # quality rides as high as the budget allows on easy content
+    qualities = result.quality_series()
+    assert float(np.nanpercentile(qualities, 90)) >= 5.0

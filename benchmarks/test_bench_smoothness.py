@@ -1,0 +1,85 @@
+"""Smoothness of quality variations (paper section 4).
+
+"We studied specific conditions guaranteeing smoothness in terms of
+variations of quality levels chosen by the controller."  The sweep
+compares the maximal policy against the smoothness-oriented policies
+(bounded step, hysteresis): smoother quality traces at a small PSNR
+cost, with safety untouched.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.policies import BoundedStepPolicy, HysteresisPolicy
+from repro.experiments.paper_data import PAPER
+from repro.sim.encoder_loop import EncoderSimulation
+from repro.sim.results import RunResult
+
+from conftest import run_once
+
+
+def within_frame_smoothness(result: RunResult) -> float:
+    """Mean within-frame quality churn: |delta q| between consecutive
+    macroblock decisions (the smoothness the viewer perceives)."""
+    return result.mean_quality_churn()
+
+
+def test_smoothness_policies(benchmark, config, results_dir):
+    simulation = EncoderSimulation(config)
+
+    def runs():
+        return {
+            "maximal": simulation.run_controlled(label="maximal"),
+            "bounded1": simulation.run_controlled_with_policy(
+                BoundedStepPolicy(max_step=1), label="bounded(step=1)"
+            ),
+            "hysteresis": simulation.run_controlled_with_policy(
+                HysteresisPolicy(patience=3), label="hysteresis(3)"
+            ),
+        }
+
+    results = run_once(benchmark, runs)
+    print("\npolicy smoothness (between frames / within frames):")
+    with open(results_dir / "smoothness.csv", "w") as handle:
+        handle.write("policy,frame_smoothness,mb_span,mean_psnr,skips,misses\n")
+        for name, result in results.items():
+            frame_smooth = result.quality_smoothness()
+            span = within_frame_smoothness(result)
+            print(
+                f"  {name:>12}: frame delta={frame_smooth:.3f} "
+                f"mb span={span:.3f} psnr={result.mean_psnr():.2f}"
+            )
+            handle.write(
+                f"{name},{frame_smooth:.4f},{span:.4f},"
+                f"{result.mean_psnr():.4f},{result.skip_count},"
+                f"{result.deadline_miss_count}\n"
+            )
+
+    maximal = results["maximal"]
+    bounded = results["bounded1"]
+    hysteresis = results["hysteresis"]
+
+    # all policies inherit the safety guarantee
+    for result in results.values():
+        assert result.skip_count == 0
+        assert result.deadline_miss_count == 0
+
+    # hysteresis visibly suppresses within-frame quality chattering
+    assert within_frame_smoothness(hysteresis) < 0.85 * within_frame_smoothness(maximal)
+    # the bounded-step policy can only slow changes, never add churn
+    # beyond noise (the maximal controller is already quite smooth:
+    # slack evolves gradually between macroblocks)
+    assert within_frame_smoothness(bounded) <= 1.1 * within_frame_smoothness(maximal)
+    # at a modest PSNR price
+    assert bounded.mean_psnr() >= maximal.mean_psnr() - 1.0
+    assert hysteresis.mean_psnr() >= maximal.mean_psnr() - 1.0
+
+    # PSNR swings between consecutive frames shrink too
+    def psnr_jitter(result):
+        series = result.psnr_series()
+        return float(np.mean(np.abs(np.diff(series))))
+
+    assert psnr_jitter(bounded) <= psnr_jitter(maximal) * 1.25

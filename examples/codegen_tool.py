@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The prototype tool (Fig. 4): from model to generated C controller.
+
+Runs the complete toolchain on a small instance of the paper's encoder:
+dataflow analysis, table generation, overhead estimation, and emission
+of the C controller a firmware build would link with the action code.
+
+Run:  python examples/codegen_tool.py            (prints a summary)
+      python examples/codegen_tool.py --emit     (prints the full C file)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.tool import compile_application
+from repro.video.pipeline import macroblock_application
+
+MACROBLOCKS = 12
+PAPER_PERIOD_SHARE = 320e6 * MACROBLOCKS / 1620
+
+
+def main() -> None:
+    application = macroblock_application(MACROBLOCKS)
+    system = application.system(budget=PAPER_PERIOD_SHARE)
+    controlled = compile_application(
+        system,
+        application_loc=7000,          # the paper's encoder size
+        decision_overhead_cycles=200.0,
+        body_length=len(application.body),
+    )
+
+    report = controlled.dataflow
+    print("dataflow analysis")
+    print(f"  actions              : {len(report.actions)}")
+    print(f"  EDF schedule prefix  : {' -> '.join(report.schedule[:4])} ...")
+    print(f"  quality-sensitive    : {', '.join(report.quality_sensitive_actions)}")
+    print(f"  critical path        : {report.critical_path_length} actions")
+    print(f"  tool applicable      : {report.deadline_order_quality_independent}")
+
+    overheads = controlled.overheads
+    print("\ninstrumentation overheads (modelled as the paper measures them)")
+    print(f"  code size : {overheads.code_ratio:6.2%}   (paper: ~2 %)")
+    print(f"  memory    : {overheads.memory_ratio:6.2%}   (paper: <= 1 %)")
+    print(f"  runtime   : {overheads.runtime_ratio:6.2%}   (paper: < 1.5 %)")
+
+    source = controlled.c_source()
+    lines = source.count("\n")
+    print(f"\ngenerated controller: {lines} lines of C "
+          f"({len(controlled.schedule)} schedule entries, "
+          f"{len(controlled.tables.qualities)} quality levels)")
+
+    if "--emit" in sys.argv:
+        print("\n" + source)
+    else:
+        head = "\n".join(source.splitlines()[:28])
+        print("\nfirst lines (use --emit for the whole file):\n")
+        print(head)
+
+    # prove the compiled artifact actually controls: run one cycle
+    controller = controlled.controller()
+    outcome = controller.run_cycle(
+        lambda action, quality: system.average_times.time(action, quality)
+    )
+    print(f"\none controlled cycle: {len(outcome.qualities)} actions, "
+          f"ME quality ramp {min(outcome.qualities)}..{max(outcome.qualities)}, "
+          f"cycle time {outcome.total_time / 1e6:.2f} Mcycles "
+          f"(budget {PAPER_PERIOD_SHARE / 1e6:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517
+editable installs (which must build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the
+classic ``setup.py develop`` path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Fine Grain QoS Control for Multimedia
+Application Software" (Combaz, Fernandez, Lepley, Sifakis; DATE 2005).
+
+The package implements the paper's QoS-control method in full —
+precedence-graph application model, EDF scheduling, the
+``Qual_Const_av`` / ``Qual_Const_wc`` quality constraints, the abstract
+controller and its table-driven compiled form — plus every substrate
+the evaluation depends on: a cycle-accounting platform simulator, a
+synthetic MPEG-4-like encoder (analytic rate-distortion model and a
+real pixel-level toy codec), frame buffering with skip-on-overflow,
+rate control, and the baseline policies the paper compares against.
+
+Quick start::
+
+    from repro import mpeg4_encoder_application, TableDrivenController
+
+    app = mpeg4_encoder_application(macroblocks=60)
+    system = app.system(budget=12_000_000)
+    controller = TableDrivenController(system)
+
+See ``examples/quickstart.py`` and README.md.
+"""
+
+from repro.core import (
+    ControllerTables,
+    CyclicApplication,
+    DeadlineFunction,
+    ParameterizedSystem,
+    PrecedenceGraph,
+    QualityAssignment,
+    QualityDeadlineTable,
+    QualitySet,
+    QualityTimeTable,
+    ReferenceController,
+    TableDrivenController,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ControllerTables",
+    "CyclicApplication",
+    "DeadlineFunction",
+    "ParameterizedSystem",
+    "PrecedenceGraph",
+    "QualityAssignment",
+    "QualityDeadlineTable",
+    "QualitySet",
+    "QualityTimeTable",
+    "ReferenceController",
+    "TableDrivenController",
+    "__version__",
+    "mpeg4_encoder_application",
+]
+
+
+def mpeg4_encoder_application(macroblocks: int = 1620) -> CyclicApplication:
+    """The paper's MPEG-4 macroblock application (Fig. 2 graph, Fig. 5 tables).
+
+    Convenience re-export of
+    :func:`repro.video.pipeline.macroblock_application`.
+    """
+    from repro.video.pipeline import macroblock_application
+
+    return macroblock_application(macroblocks)

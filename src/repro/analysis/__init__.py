@@ -1,0 +1,20 @@
+"""Analysis utilities: metrics, ASCII figure rendering, report generation."""
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.metrics import (
+    burst_count,
+    mean_outside_regions,
+    psnr_advantage,
+    utilization_statistics,
+)
+from repro.analysis.report import comparison_table, format_summary
+
+__all__ = [
+    "ascii_plot",
+    "burst_count",
+    "comparison_table",
+    "format_summary",
+    "mean_outside_regions",
+    "psnr_advantage",
+    "utilization_statistics",
+]

@@ -1,0 +1,95 @@
+"""Terminal line plots.
+
+matplotlib is not available offline, and the benches must still *show*
+the figures they reproduce; this renders one or more per-frame series
+as an ASCII chart close enough to eyeball against the paper's plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Characters used for successive series.
+SERIES_MARKS = "*o+x#@"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    height: int = 16,
+    width: int = 90,
+    title: str = "",
+    y_label: str = "",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render named series into a text chart.
+
+    NaN points (skipped frames) are left blank, which makes skip bursts
+    visible as gaps — just like the discontinuities in the paper's plots.
+    """
+    names = list(series)
+    if not names:
+        return "(no data)"
+    arrays = [np.asarray(series[name], dtype=np.float64) for name in names]
+    length = max(len(a) for a in arrays)
+    if length == 0:
+        return "(no data)"
+
+    # resample every series to the plot width by bucket-averaging
+    def resample(values: np.ndarray) -> np.ndarray:
+        out = np.full(width, np.nan)
+        edges = np.linspace(0, len(values), width + 1).astype(int)
+        for i in range(width):
+            bucket = values[edges[i] : max(edges[i + 1], edges[i] + 1)]
+            finite = bucket[np.isfinite(bucket)]
+            if finite.size:
+                out[i] = float(np.mean(finite))
+        return out
+
+    sampled = [resample(a) for a in arrays]
+    finite_all = np.concatenate([s[np.isfinite(s)] for s in sampled if np.isfinite(s).any()] or [np.array([0.0])])
+    low = y_min if y_min is not None else float(finite_all.min())
+    high = y_max if y_max is not None else float(finite_all.max())
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, points in zip(SERIES_MARKS, sampled):
+        for x, value in enumerate(points):
+            if not math.isfinite(value):
+                continue
+            level = (value - low) / span
+            row = height - 1 - int(round(level * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            if grid[row][x] == " ":
+                grid[row][x] = mark
+            else:
+                grid[row][x] = "#"  # overlap
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{mark} {name}" for mark, name in zip(SERIES_MARKS, names)
+    )
+    lines.append(legend)
+    top_label = f"{high:.6g}"
+    bottom_label = f"{low:.6g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * width}")
+    lines.append(f"{'':>{label_width}}  frame 0 .. {length - 1}")
+    return "\n".join(lines)

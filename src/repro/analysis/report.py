@@ -1,0 +1,68 @@
+"""Plain-text reporting helpers for benches and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.sim.results import RunResult
+
+
+def format_summary(result: RunResult) -> str:
+    """One run's headline numbers as aligned text."""
+    summary = result.summary()
+    lines = [f"run: {summary['label']}"]
+    for key in (
+        "frames", "encoded", "skipped", "deadline_misses", "mean_psnr",
+        "mean_psnr_encoded_only", "mean_utilization", "mean_quality",
+        "quality_smoothness", "controller_overhead",
+    ):
+        lines.append(f"  {key:>24}: {summary[key]}")
+    return "\n".join(lines)
+
+
+def comparison_table(results: Sequence[RunResult]) -> str:
+    """Side-by-side table of several runs (the per-figure bench output)."""
+    columns = (
+        ("label", "label", "s"),
+        ("skips", "skipped", "d"),
+        ("misses", "deadline_misses", "d"),
+        ("PSNR", "mean_psnr", ".2f"),
+        ("PSNR(enc)", "mean_psnr_encoded_only", ".2f"),
+        ("util", "mean_utilization", ".3f"),
+        ("q", "mean_quality", ".2f"),
+        ("smooth", "quality_smoothness", ".3f"),
+        ("ovh", "controller_overhead", ".4f"),
+    )
+    rows = [[_format(result.summary()[key], spec) for _, key, spec in columns]
+            for result in results]
+    headers = [name for name, _, _ in columns]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        out.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _format(value, spec: str) -> str:
+    if spec == "s":
+        return str(value)
+    if spec == "d":
+        return str(int(value))
+    return format(float(value), spec)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A GitHub-markdown table (EXPERIMENTS.md fragments)."""
+    out = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(out)
+
+
+def describe_runs(runs: Mapping[str, RunResult]) -> str:
+    """Comparison table over a named run dictionary."""
+    return comparison_table(list(runs.values()))

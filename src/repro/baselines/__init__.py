@@ -1,0 +1,41 @@
+"""Baseline QoS/overload-management policies.
+
+The paper's evaluation compares against constant quality (industrial
+practice); its related-work section names the broader landscape, which
+this package implements so the benches can position the fine-grain
+controller against it:
+
+* :mod:`repro.baselines.constant` — fixed quality level (the paper's
+  Figs. 6-9 baseline);
+* :mod:`repro.baselines.static_wcet` — the classic hard-real-time
+  design point: the largest constant quality whose *worst-case* load
+  fits the budget (safe but wasteful — the motivation of section 2.1);
+* :mod:`repro.baselines.pid_feedback` — feedback scheduling in the
+  style of Lu et al.: per-frame PID on the utilization error (deadline
+  misses remain possible);
+* :mod:`repro.baselines.elastic` — Buttazzo's elastic-task idea mapped
+  to quality selection: compress "utilization" until the worst-case
+  load fits;
+* :mod:`repro.baselines.skip_over` — Koren & Shasha's skip-over:
+  deliberately skip instances under overload with a bounded skip factor.
+
+All frame-level policies adapt *between* cycles — exactly the coarse
+granularity the paper improves on.
+"""
+
+from repro.baselines.base import FrameFeedback, FramePolicy
+from repro.baselines.constant import ConstantQualityPolicy
+from repro.baselines.elastic import ElasticQualityPolicy
+from repro.baselines.pid_feedback import PidFeedbackPolicy
+from repro.baselines.skip_over import SkipOverPolicy
+from repro.baselines.static_wcet import static_wcet_quality
+
+__all__ = [
+    "ConstantQualityPolicy",
+    "ElasticQualityPolicy",
+    "FrameFeedback",
+    "FramePolicy",
+    "PidFeedbackPolicy",
+    "SkipOverPolicy",
+    "static_wcet_quality",
+]

@@ -1,0 +1,42 @@
+"""Frame-level policy interface shared by the baseline controllers.
+
+A frame policy proposes one quality level for the *next* frame and is
+told, after each encoded frame, how long it actually took relative to
+its budget.  This is the coarse-grain adaptation loop of the prior art:
+one decision per cycle, no visibility inside the cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+@dataclass(frozen=True)
+class FrameFeedback:
+    """What a frame-level policy learns after each encoded frame."""
+
+    encode_cycles: float
+    budget: float
+    period: float
+
+    @property
+    def utilization(self) -> float:
+        """Encoding time over the nominal period."""
+        return self.encode_cycles / self.period
+
+    @property
+    def overran(self) -> bool:
+        return self.encode_cycles > self.budget
+
+
+class FramePolicy(Protocol):
+    """One quality decision per frame, adapted from feedback."""
+
+    def next_quality(self) -> int:
+        """Quality level for the next frame."""
+        ...
+
+    def observe(self, encode_cycles: float, budget: float, period: float) -> None:
+        """Feedback after a frame completes."""
+        ...

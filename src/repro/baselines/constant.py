@@ -1,0 +1,29 @@
+"""Constant quality — the paper's baseline ("standard industrial practice").
+
+The encoder is tuned once (a fixed quality level chosen offline) and
+never adapts.  Load fluctuations then surface as buffer overflows
+(frame skips) or under-utilization; the paper's Figs. 6-9 plot exactly
+this against the controlled encoder.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class ConstantQualityPolicy:
+    """Always the same level; ignores all feedback."""
+
+    def __init__(self, quality: int):
+        if quality < 0:
+            raise ConfigurationError("quality must be >= 0")
+        self.quality = int(quality)
+
+    def next_quality(self) -> int:
+        return self.quality
+
+    def observe(self, encode_cycles: float, budget: float, period: float) -> None:
+        """Industrial practice: nothing is observed, nothing changes."""
+
+    def __repr__(self) -> str:
+        return f"ConstantQualityPolicy(quality={self.quality})"

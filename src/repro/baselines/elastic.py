@@ -1,0 +1,72 @@
+"""Elastic quality adaptation (Buttazzo et al.'s elastic task model).
+
+"Buttazzo et al. propose the elastic tasks model, but their approach is
+based on worst case execution times."  Mapped to our single-task,
+quality-parameterized setting: treat the quality level as the task's
+elastic utilization knob and *compress* it until the worst-case frame
+load fits the period.  Because the test uses worst-case (not average)
+times, the policy is safe but chronically conservative — it realizes
+the "solutions far from optimal" behaviour the paper describes for
+WCET-based design when uncertainty is high.
+
+A mild adaptive element (as in elastic rate adaptation): when observed
+load stays well below the period, the policy probes one level up, but
+only if that level still passes the worst-case admission test.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+class ElasticQualityPolicy:
+    """WCET-admission-controlled quality selection."""
+
+    def __init__(
+        self,
+        worst_case_frame_loads: Sequence[float],
+        period: float,
+        probe_threshold: float = 0.6,
+    ):
+        """``worst_case_frame_loads[q]`` is the WCET of a whole frame at
+        quality ``q``; ``period`` is the cycle budget."""
+        if not worst_case_frame_loads:
+            raise ConfigurationError("need at least one quality level")
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        self.loads = [float(v) for v in worst_case_frame_loads]
+        self.period = float(period)
+        self.probe_threshold = probe_threshold
+        admitted = [q for q, load in enumerate(self.loads) if load <= self.period]
+        if not admitted:
+            raise ConfigurationError(
+                "elastic compression failed: even minimum quality does not "
+                "fit the period under worst-case times"
+            )
+        #: the highest statically admissible level — the classic design point
+        self.admissible_quality = admitted[-1]
+        self._quality = self.admissible_quality
+        self._calm_frames = 0
+
+    def next_quality(self) -> int:
+        return self._quality
+
+    def observe(self, encode_cycles: float, budget: float, period: float) -> None:
+        utilization = encode_cycles / period
+        if utilization > 1.0:
+            # compress: worst-case admission proved wrong only if the
+            # contract was violated, but elastic adapts downward anyway
+            self._quality = max(0, self._quality - 1)
+            self._calm_frames = 0
+        elif utilization < self.probe_threshold:
+            self._calm_frames += 1
+            if self._calm_frames >= 5 and self._quality < self.admissible_quality:
+                self._quality += 1
+                self._calm_frames = 0
+        else:
+            self._calm_frames = 0
+
+    def __repr__(self) -> str:
+        return f"ElasticQualityPolicy(admissible={self.admissible_quality})"

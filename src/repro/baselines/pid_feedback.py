@@ -1,0 +1,63 @@
+"""PID feedback scheduling (Lu et al. style).
+
+"Lu et al. propose a feedback scheduling based on PID controllers, but
+deadline misses remain possible."  The policy regulates the measured
+per-frame utilization toward a set point by moving a continuous quality
+actuator, quantized to the available levels.  Adaptation happens once
+per frame — after the damage of an overrun is already done — which is
+precisely the reactivity gap the paper's fine-grain controller closes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class PidFeedbackPolicy:
+    """Discrete-quality PID regulator on the utilization error."""
+
+    def __init__(
+        self,
+        levels: int = 8,
+        set_point: float = 0.9,
+        kp: float = 4.0,
+        ki: float = 1.0,
+        kd: float = 0.5,
+        initial_quality: int | None = None,
+    ):
+        if levels < 1:
+            raise ConfigurationError("levels must be >= 1")
+        if not 0 < set_point <= 1.0:
+            raise ConfigurationError("set_point must be in (0, 1]")
+        self.levels = levels
+        self.set_point = set_point
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self._actuator = float(
+            initial_quality if initial_quality is not None else levels // 2
+        )
+        self._integral = 0.0
+        self._previous_error = 0.0
+
+    def next_quality(self) -> int:
+        quality = int(round(self._actuator))
+        return min(max(quality, 0), self.levels - 1)
+
+    def observe(self, encode_cycles: float, budget: float, period: float) -> None:
+        utilization = encode_cycles / period
+        error = self.set_point - utilization
+        self._integral += error
+        # standard anti-windup clamp
+        self._integral = min(max(self._integral, -2.0), 2.0)
+        derivative = error - self._previous_error
+        self._previous_error = error
+        delta = self.kp * error + self.ki * self._integral + self.kd * derivative
+        self._actuator += delta
+        self._actuator = min(max(self._actuator, 0.0), float(self.levels - 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"PidFeedbackPolicy(set_point={self.set_point}, kp={self.kp}, "
+            f"ki={self.ki}, kd={self.kd})"
+        )

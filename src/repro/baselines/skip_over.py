@@ -1,0 +1,51 @@
+"""Skip-over scheduling (Koren & Shasha).
+
+"Another common and simple way to treat CPU overload is to skip an
+instance of a task."  The skip-over model allows dropping at most one
+instance out of every ``skip_factor`` consecutive instances.  Here the
+policy encodes at a deliberately high constant quality and, instead of
+adapting the quality, *plans* skips: after an overrun it requests a
+skip (encodes nothing) provided the skip distance respects the factor.
+
+The simulation realizes a requested skip as an instantaneous frame
+drop, which is what skipping an instance means for the encoder.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Sentinel quality meaning "skip this frame deliberately".
+SKIP = -1
+
+
+class SkipOverPolicy:
+    """Fixed quality with planned skips under overload (red-task model)."""
+
+    def __init__(self, quality: int, skip_factor: int = 3):
+        if quality < 0:
+            raise ConfigurationError("quality must be >= 0")
+        if skip_factor < 2:
+            raise ConfigurationError(
+                "skip_factor must be >= 2 (skip_factor=1 would skip everything)"
+            )
+        self.quality = quality
+        self.skip_factor = skip_factor
+        self._since_last_skip = skip_factor  # allowed to skip immediately
+        self._want_skip = False
+
+    def next_quality(self) -> int:
+        # red-task rule: after a skip, the next (skip_factor - 1)
+        # instances must execute before another skip is permitted
+        if self._want_skip and self._since_last_skip >= self.skip_factor - 1:
+            self._want_skip = False
+            self._since_last_skip = 0
+            return SKIP
+        self._since_last_skip += 1
+        return self.quality
+
+    def observe(self, encode_cycles: float, budget: float, period: float) -> None:
+        self._want_skip = encode_cycles > period
+
+    def __repr__(self) -> str:
+        return f"SkipOverPolicy(quality={self.quality}, skip_factor={self.skip_factor})"

@@ -1,0 +1,42 @@
+"""The classic hard-real-time static design point.
+
+"When execution times are not precisely known, static computation of
+feasible schedules requires the use of worst case execution times.
+This may lead to solutions that are far from being optimal, especially
+in the case where uncertainty about execution times is high."
+(section 2.1)
+
+This module computes that design point: the largest constant quality
+level whose *worst-case* cycle load fits the budget.  On the paper's
+tables the answer is q=0 for P=320 Mcycles (already q=1's worst-case
+frame load is 1620 x 275 kc = 446 Mc, 139 % of P), which wastes ~60 %
+of the budget in the average case — the quantitative motivation for
+dynamic control.
+"""
+
+from __future__ import annotations
+
+from repro.core.cycles import CyclicApplication
+from repro.errors import ConfigurationError
+
+
+def static_wcet_quality(application: CyclicApplication, budget: float) -> int:
+    """Largest constant level with worst-case cycle load <= budget."""
+    return application.max_sustainable_quality(budget, worst_case=True)
+
+
+def static_average_quality(application: CyclicApplication, budget: float) -> int:
+    """Largest constant level with *average* load <= budget.
+
+    The soft-real-time static design point: efficient on average but
+    with no protection against bursts (deadline misses and frame skips
+    under load fluctuation) — the other half of the paper's motivation.
+    """
+    return application.max_sustainable_quality(budget, worst_case=False)
+
+
+def utilization_at(application: CyclicApplication, quality: int, budget: float) -> float:
+    """Average budget utilization of a constant-quality design."""
+    if budget <= 0:
+        raise ConfigurationError("budget must be positive")
+    return application.average_cycle_load(quality) / budget

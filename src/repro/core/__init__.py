@@ -1,0 +1,98 @@
+"""Core library: the paper's fine-grain QoS control method.
+
+Public surface of the reproduction of sections 2 (method) and 3 (tool)
+of Combaz et al., DATE 2005.  See :mod:`repro.core.controller` for the
+reference algorithm and :mod:`repro.core.fast_controller` for the
+table-driven ("compiled") controller.
+"""
+
+from repro.core.action import Action, QualitySet, iterated_action, split_iterated_action
+from repro.core.constraints import (
+    ConstraintEvaluation,
+    average_constraint_slack,
+    evaluate_constraints,
+    qual_const_av,
+    qual_const_wc,
+    worst_case_constraint_slack,
+)
+from repro.core.controller import CycleResult, Decision, ReferenceController
+from repro.core.cycles import CyclicApplication
+from repro.core.deadlines import (
+    DeadlineFunction,
+    QualityDeadlineTable,
+    linear_iteration_deadlines,
+)
+from repro.core.edf import best_sched, edf_schedule, is_edf_order
+from repro.core.fast_controller import (
+    FastCycleResult,
+    FastDecision,
+    TableDrivenController,
+)
+from repro.core.feasibility import (
+    FeasibilityReport,
+    check_feasibility,
+    is_feasible_schedule,
+    slack_sequence,
+    worst_slack,
+)
+from repro.core.policies import (
+    BoundedStepPolicy,
+    DecisionContext,
+    FixedQualityPolicy,
+    HysteresisPolicy,
+    MaximalQualityPolicy,
+    QualityPolicy,
+)
+from repro.core.precedence import PrecedenceGraph
+from repro.core.sequences import INFINITY, Time, cumulative, minimum, suffix
+from repro.core.system import ParameterizedSystem
+from repro.core.tables import ControllerTables
+from repro.core.timing import QualityAssignment, QualityTimeTable, TimeFunction
+
+__all__ = [
+    "Action",
+    "BoundedStepPolicy",
+    "ConstraintEvaluation",
+    "ControllerTables",
+    "CycleResult",
+    "CyclicApplication",
+    "DeadlineFunction",
+    "Decision",
+    "DecisionContext",
+    "FastCycleResult",
+    "FastDecision",
+    "FeasibilityReport",
+    "FixedQualityPolicy",
+    "HysteresisPolicy",
+    "INFINITY",
+    "MaximalQualityPolicy",
+    "ParameterizedSystem",
+    "PrecedenceGraph",
+    "QualityAssignment",
+    "QualityDeadlineTable",
+    "QualityPolicy",
+    "QualitySet",
+    "QualityTimeTable",
+    "ReferenceController",
+    "TableDrivenController",
+    "Time",
+    "TimeFunction",
+    "average_constraint_slack",
+    "best_sched",
+    "check_feasibility",
+    "cumulative",
+    "edf_schedule",
+    "evaluate_constraints",
+    "is_edf_order",
+    "is_feasible_schedule",
+    "iterated_action",
+    "linear_iteration_deadlines",
+    "minimum",
+    "qual_const_av",
+    "qual_const_wc",
+    "slack_sequence",
+    "split_iterated_action",
+    "suffix",
+    "worst_case_constraint_slack",
+    "worst_slack",
+]

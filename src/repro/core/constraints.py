@@ -1,0 +1,164 @@
+"""The quality constraints ``Qual_Const_av`` / ``Qual_Const_wc`` (section 2.2).
+
+At control location ``i`` (``i`` actions of the schedule ``alpha``
+executed, actual elapsed time ``t = C_hat(alpha)(i)``), a candidate
+quality assignment ``theta`` is acceptable when *both* predicates hold:
+
+``Qual_Const_av(alpha, theta, t, i)``::
+
+    t <= min( D_theta(alpha[i+1, n]) - Cav_theta_hat(alpha[i+1, n]) )
+
+every remaining action, executed at its assigned quality with *average*
+times, meets its deadline — this is the optimality constraint that lets
+the controller fill the time budget in expectation.
+
+``Qual_Const_wc(alpha, theta, t, i)``::
+
+    t <= min( D_theta'(alpha[i+1, n]) - Cwc_theta'_hat(alpha[i+1, n]) )
+
+where ``theta'`` agrees with ``theta`` on the *next* action
+(``alpha(i+1)``) and maps every later action to ``qmin`` — even if the
+next action consumes its *worst-case* time, a worst-case landing path at
+minimum quality still meets every deadline.  This is the safety
+constraint that makes deadline misses impossible whenever actual times
+respect ``C <= Cwc_theta``.
+
+The functions in this module are the *reference* implementation:
+straight transliterations of the formulas, evaluated by walking the
+suffix.  The table-driven controller (:mod:`repro.core.tables`) must
+agree with them exactly; tests enforce this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.action import Action
+from repro.core.deadlines import QualityDeadlineTable
+from repro.core.sequences import INFINITY, Time
+from repro.core.timing import QualityAssignment, QualityTimeTable
+
+
+def average_constraint_slack(
+    sequence: Sequence[Action],
+    assignment: QualityAssignment,
+    average_times: QualityTimeTable,
+    deadlines: QualityDeadlineTable,
+    position: int,
+) -> Time:
+    """``min(D_theta - Cav_theta_hat)`` over the suffix from ``position``.
+
+    ``position`` is 0-based: the suffix contains the actions not yet
+    executed (``alpha[i+1, n]`` in the paper's 1-based notation).
+    Returns +inf for an empty suffix.  ``Qual_Const_av`` holds iff
+    ``t <= average_constraint_slack(...)``.
+    """
+    slack = INFINITY
+    consumed = 0.0
+    for action in sequence[position:]:
+        q = assignment(action)
+        consumed += average_times.time(action, q)
+        slack = min(slack, deadlines.deadline(action, q) - consumed)
+    return slack
+
+
+def worst_case_constraint_slack(
+    sequence: Sequence[Action],
+    assignment: QualityAssignment,
+    worst_times: QualityTimeTable,
+    deadlines: QualityDeadlineTable,
+    position: int,
+    qmin: int,
+) -> Time:
+    """``min(D_theta' - Cwc_theta'_hat)`` over the suffix from ``position``.
+
+    ``theta'`` keeps ``theta``'s quality for the first suffix action and
+    assigns ``qmin`` to every later one (the paper's safety fallback).
+    ``Qual_Const_wc`` holds iff ``t <= worst_case_constraint_slack(...)``.
+    """
+    slack = INFINITY
+    consumed = 0.0
+    for offset, action in enumerate(sequence[position:]):
+        q = assignment(action) if offset == 0 else qmin
+        consumed += worst_times.time(action, q)
+        slack = min(slack, deadlines.deadline(action, q) - consumed)
+    return slack
+
+
+def qual_const_av(
+    sequence: Sequence[Action],
+    assignment: QualityAssignment,
+    average_times: QualityTimeTable,
+    deadlines: QualityDeadlineTable,
+    elapsed: Time,
+    position: int,
+) -> bool:
+    """The predicate ``Qual_Const_av(alpha, theta, t, i)``."""
+    return elapsed <= average_constraint_slack(
+        sequence, assignment, average_times, deadlines, position
+    )
+
+
+def qual_const_wc(
+    sequence: Sequence[Action],
+    assignment: QualityAssignment,
+    worst_times: QualityTimeTable,
+    deadlines: QualityDeadlineTable,
+    elapsed: Time,
+    position: int,
+    qmin: int,
+) -> bool:
+    """The predicate ``Qual_Const_wc(alpha, theta, t, i)``."""
+    return elapsed <= worst_case_constraint_slack(
+        sequence, assignment, worst_times, deadlines, position, qmin
+    )
+
+
+@dataclass(frozen=True)
+class ConstraintEvaluation:
+    """Both constraint slacks for one candidate assignment at a location."""
+
+    average_slack: Time
+    worst_case_slack: Time
+
+    @property
+    def combined_slack(self) -> Time:
+        return min(self.average_slack, self.worst_case_slack)
+
+    def satisfied(self, elapsed: Time, mode: str = "both") -> bool:
+        """Evaluate ``Qual_Const`` under a constraint mode.
+
+        ``"both"`` is the paper's hard-deadline predicate; ``"average"``
+        is the soft-deadline variant of section 4 (the quality manager
+        applies only the average constraint); ``"worst"`` keeps only the
+        safety half (a degenerate, overly conservative mode used in the
+        ablation benches).
+        """
+        if mode == "both":
+            return elapsed <= self.combined_slack
+        if mode == "average":
+            return elapsed <= self.average_slack
+        if mode == "worst":
+            return elapsed <= self.worst_case_slack
+        raise ValueError(f"unknown constraint mode {mode!r}")
+
+
+def evaluate_constraints(
+    sequence: Sequence[Action],
+    assignment: QualityAssignment,
+    average_times: QualityTimeTable,
+    worst_times: QualityTimeTable,
+    deadlines: QualityDeadlineTable,
+    position: int,
+    qmin: int,
+) -> ConstraintEvaluation:
+    """Evaluate both constraint slacks (reference implementation)."""
+    return ConstraintEvaluation(
+        average_slack=average_constraint_slack(
+            sequence, assignment, average_times, deadlines, position
+        ),
+        worst_case_slack=worst_case_constraint_slack(
+            sequence, assignment, worst_times, deadlines, position, qmin
+        ),
+    )

@@ -1,0 +1,252 @@
+"""The reference QoS controller — the abstract algorithm of section 2.2.
+
+The controller computes incrementally a schedule ``alpha_n`` and a
+quality assignment ``theta_n``, one pair ``(alpha_i, theta_i)`` per
+computation step, by cooperation of a *Scheduler* (``Best_Sched``) and a
+*Quality Manager* (maximal ``q`` under ``Qual_Const``)::
+
+    i := 0
+    while i < |A| do
+        for q in Q do theta_q := theta |>i q
+        for q in Q do alpha_q := Best_Sched(alpha, theta_q, i)
+        qM = max{ q | Qual_Const(alpha_q, theta_q, t, i) }
+        (alpha, theta) := (alpha_qM, theta_qM)
+        i := i + 1
+    end while
+
+This class is a faithful, unoptimized transliteration: at every step it
+re-runs EDF per candidate quality and re-walks the whole suffix to
+evaluate the constraints (O(n^2 |Q|) per cycle).  It exists as the
+semantic reference; production use goes through
+:class:`repro.core.fast_controller.TableDrivenController`, which is
+tested to agree with this class decision-for-decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.action import Action
+from repro.core.constraints import ConstraintEvaluation, evaluate_constraints
+from repro.core.edf import best_sched
+from repro.core.policies import DecisionContext, MaximalQualityPolicy, QualityPolicy
+from repro.core.sequences import Time
+from repro.core.system import ParameterizedSystem
+from repro.core.timing import QualityAssignment
+from repro.errors import ConfigurationError, SequenceError
+
+#: Constraint modes: the paper's hard predicate, the soft (section 4)
+#: average-only variant, and the safety-only degenerate mode.
+CONSTRAINT_MODES = ("both", "average", "worst")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One controller step: which action to run next, and at what quality."""
+
+    step: int
+    action: Action
+    quality: int
+    feasible_qualities: tuple[int, ...]
+    evaluations: dict[int, ConstraintEvaluation] = field(compare=False)
+    degraded: bool = False
+
+    @property
+    def safe(self) -> bool:
+        """False when no quality satisfied the constraints (contract broken)."""
+        return not self.degraded
+
+
+class ReferenceController:
+    """Faithful implementation of the paper's abstract control algorithm.
+
+    Usage per cycle::
+
+        controller = ReferenceController(system)
+        controller.start_cycle()
+        while not controller.done:
+            decision = controller.decide()
+            actual = run(decision.action, decision.quality)   # environment
+            controller.record_completion(actual)
+
+    Parameters
+    ----------
+    system:
+        The parameterized real-time system (validated on construction).
+    policy:
+        Final quality selection among constraint-satisfying levels; the
+        default is the paper's maximal policy.
+    constraint_mode:
+        ``"both"`` (hard deadlines, paper default), ``"average"`` (soft
+        deadlines, section 4) or ``"worst"`` (safety only).
+    validate:
+        When true (default), check the Problem precondition — a feasible
+        schedule at ``qmin`` under worst-case times must exist.
+    """
+
+    def __init__(
+        self,
+        system: ParameterizedSystem,
+        policy: QualityPolicy | None = None,
+        constraint_mode: str = "both",
+        validate: bool = True,
+    ) -> None:
+        if constraint_mode not in CONSTRAINT_MODES:
+            raise ConfigurationError(
+                f"constraint_mode must be one of {CONSTRAINT_MODES}, got {constraint_mode!r}"
+            )
+        self.system = system
+        self.policy = policy if policy is not None else MaximalQualityPolicy()
+        self.constraint_mode = constraint_mode
+        if validate:
+            system.validate()
+        self._armed = False
+        self.start_cycle()
+
+    # ------------------------------------------------------------------
+    # cycle lifecycle
+    # ------------------------------------------------------------------
+
+    def start_cycle(self) -> None:
+        """Re-arm the controller at control location 0 of a fresh cycle."""
+        qmin = self.system.qmin
+        self.schedule: list[Action] = self.system.baseline_schedule()
+        self.assignment = QualityAssignment.constant(self.system.graph.actions, qmin)
+        self.step = 0
+        self.elapsed: Time = 0.0
+        self.previous_quality: int | None = None
+        self.decisions: list[Decision] = []
+        self._pending: Decision | None = None
+        self._armed = True
+        reset = getattr(self.policy, "reset", None)
+        if callable(reset):
+            reset()
+
+    @property
+    def done(self) -> bool:
+        """True once every action of the cycle has been executed."""
+        return self.step >= len(self.system.graph.actions)
+
+    # ------------------------------------------------------------------
+    # one controller step
+    # ------------------------------------------------------------------
+
+    def decide(self) -> Decision:
+        """Run one iteration of the abstract algorithm at the current ``t``.
+
+        Returns the action to execute next and its quality level.  The
+        caller must report the actual execution time through
+        :meth:`record_completion` before deciding again.
+        """
+        if not self._armed or self.done:
+            raise SequenceError("controller cycle is complete; call start_cycle()")
+        if self._pending is not None:
+            raise SequenceError("previous decision not yet completed")
+
+        i = self.step
+        t = self.elapsed
+        qmin = self.system.qmin
+
+        candidates: dict[int, tuple[list[Action], QualityAssignment, ConstraintEvaluation]] = {}
+        feasible: list[int] = []
+        for q in self.system.quality_set:
+            theta_q = self.assignment.override_suffix(self.schedule, i, q)
+            deadline_of = self.system.deadlines.under(theta_q)
+            alpha_q = best_sched(self.system.graph, self.schedule, deadline_of, i)
+            evaluation = evaluate_constraints(
+                alpha_q,
+                theta_q,
+                self.system.average_times,
+                self.system.worst_times,
+                self.system.deadlines,
+                i,
+                qmin,
+            )
+            candidates[q] = (alpha_q, theta_q, evaluation)
+            if evaluation.satisfied(t, self.constraint_mode):
+                feasible.append(q)
+
+        degraded = not feasible
+        if degraded:
+            # Contract violated (C > Cwc happened earlier, or the system
+            # was not validated): fall back to minimum quality; a miss
+            # may already be unavoidable.
+            feasible = [qmin]
+        context = DecisionContext(
+            step=i,
+            previous_quality=self.previous_quality,
+            quality_set=self.system.quality_set,
+        )
+        chosen = self.policy.select(tuple(sorted(feasible)), context)
+
+        alpha_chosen, theta_chosen, _ = candidates[chosen]
+        self.schedule = alpha_chosen
+        self.assignment = theta_chosen
+
+        decision = Decision(
+            step=i,
+            action=self.schedule[i],
+            quality=chosen,
+            feasible_qualities=tuple(sorted(feasible)) if not degraded else (),
+            evaluations={q: candidates[q][2] for q in candidates},
+            degraded=degraded,
+        )
+        self._pending = decision
+        return decision
+
+    def record_completion(self, actual_time: Time) -> None:
+        """Report the actual execution time of the last decided action.
+
+        Advances the control location: ``t`` grows by the actual time
+        (the controller reads the platform's cycle counter; here the
+        environment pushes the measurement).
+        """
+        if self._pending is None:
+            raise SequenceError("no pending decision to complete")
+        if actual_time < 0:
+            raise ConfigurationError(f"actual execution time must be >= 0, got {actual_time}")
+        self.elapsed += actual_time
+        self.previous_quality = self._pending.quality
+        self.decisions.append(self._pending)
+        self._pending = None
+        self.step += 1
+
+    # ------------------------------------------------------------------
+    # whole-cycle convenience driver
+    # ------------------------------------------------------------------
+
+    def run_cycle(self, time_source) -> "CycleResult":
+        """Drive a full cycle, pulling actual times from ``time_source``.
+
+        ``time_source(action, quality) -> Time`` models the platform.
+        Returns the realized schedule, assignment, and timing.
+        """
+        self.start_cycle()
+        while not self.done:
+            decision = self.decide()
+            actual = time_source(decision.action, decision.quality)
+            self.record_completion(actual)
+        return CycleResult(
+            schedule=tuple(self.schedule),
+            qualities=tuple(d.quality for d in self.decisions),
+            total_time=self.elapsed,
+            degraded_steps=sum(1 for d in self.decisions if d.degraded),
+        )
+
+
+@dataclass(frozen=True)
+class CycleResult:
+    """Outcome of one controlled cycle."""
+
+    schedule: tuple[Action, ...]
+    qualities: tuple[int, ...]
+    total_time: Time
+    degraded_steps: int
+
+    @property
+    def min_quality(self) -> int:
+        return min(self.qualities)
+
+    @property
+    def max_quality(self) -> int:
+        return max(self.qualities)

@@ -1,0 +1,139 @@
+"""Cyclic (iterated) systems — section 3's ``body x N`` construction.
+
+The MPEG-4 encoder treats a frame as ``N`` iterations of the macroblock
+body (Fig. 2).  The prototype tool takes the body graph ``G`` and its
+iteration parameter ``N`` and works on the unfolded graph.  This module
+packages that construction: body graph + per-body-action timing tables
++ a deadline pattern over the whole cycle become a full
+:class:`~repro.core.system.ParameterizedSystem`.
+
+Timing tables are defined on *base* action names; the unfolded
+instances ``a#k`` resolve to them automatically (see
+:class:`repro.core.timing.QualityTimeTable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.action import QualitySet, iterated_action
+from repro.core.deadlines import (
+    DeadlineFunction,
+    QualityDeadlineTable,
+    linear_iteration_deadlines,
+)
+from repro.core.precedence import PrecedenceGraph
+from repro.core.sequences import Time
+from repro.core.system import ParameterizedSystem
+from repro.core.timing import QualityTimeTable
+from repro.errors import ConfigurationError
+
+#: Supported per-cycle deadline patterns.
+DEADLINE_PATTERNS = ("uniform", "linear")
+
+
+@dataclass(frozen=True)
+class CyclicApplication:
+    """An application that runs an iterated body once per cycle.
+
+    Attributes
+    ----------
+    body:
+        The precedence graph of one iteration (e.g. one macroblock).
+    iterations:
+        How many times the body runs per cycle (``N``).
+    quality_set, average_times, worst_times:
+        Timing model on *body* action names.
+    """
+
+    body: PrecedenceGraph
+    iterations: int
+    quality_set: QualitySet
+    average_times: QualityTimeTable
+    worst_times: QualityTimeTable
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ConfigurationError(f"iterations must be positive, got {self.iterations}")
+        QualityTimeTable.validate_bounds(self.average_times, self.worst_times)
+
+    @property
+    def actions_per_cycle(self) -> int:
+        return len(self.body) * self.iterations
+
+    def unfolded_graph(self) -> PrecedenceGraph:
+        """The cycle's full precedence graph (iterations serialized)."""
+        return self.body.unfold(self.iterations, serialize=True)
+
+    def deadline_table(
+        self, budget: Time, pattern: str = "uniform", slack_fraction: float = 0.1
+    ) -> QualityDeadlineTable:
+        """Deadlines over the unfolded actions for one cycle of ``budget``.
+
+        ``uniform``: every action must finish by ``budget`` (the frame's
+        time budget — the paper's MPEG-4 setting).
+        ``linear``: iteration ``k`` paced at ``(k+1)/N * budget`` plus a
+        slack band (keeps quality smooth across the cycle).
+        """
+        if pattern not in DEADLINE_PATTERNS:
+            raise ConfigurationError(
+                f"pattern must be one of {DEADLINE_PATTERNS}, got {pattern!r}"
+            )
+        if pattern == "uniform":
+            graph = self.unfolded_graph()
+            deadline = DeadlineFunction.uniform(graph.actions, budget)
+        else:
+            deadline = linear_iteration_deadlines(
+                self.body.actions, self.iterations, budget, slack_fraction
+            )
+        return QualityDeadlineTable.quality_independent(self.quality_set, deadline)
+
+    def system(
+        self, budget: Time, pattern: str = "uniform", slack_fraction: float = 0.1
+    ) -> ParameterizedSystem:
+        """The parameterized real-time system for one cycle."""
+        return ParameterizedSystem(
+            graph=self.unfolded_graph(),
+            quality_set=self.quality_set,
+            average_times=self.average_times,
+            worst_times=self.worst_times,
+            deadlines=self.deadline_table(budget, pattern, slack_fraction),
+        )
+
+    # ------------------------------------------------------------------
+    # loads — used for calibration and admission checks
+    # ------------------------------------------------------------------
+
+    def average_cycle_load(self, quality: int) -> Time:
+        """Expected cycle time when every action runs at ``quality``."""
+        per_body = sum(
+            self.average_times.time(a, quality) for a in self.body.actions
+        )
+        return per_body * self.iterations
+
+    def worst_cycle_load(self, quality: int) -> Time:
+        """Worst-case cycle time when every action runs at ``quality``."""
+        per_body = sum(self.worst_times.time(a, quality) for a in self.body.actions)
+        return per_body * self.iterations
+
+    def max_sustainable_quality(self, budget: Time, worst_case: bool = False) -> int:
+        """Largest constant level whose (average or worst-case) cycle load
+        fits the budget — the classic static design point."""
+        load = self.worst_cycle_load if worst_case else self.average_cycle_load
+        best = None
+        for q in self.quality_set:
+            if load(q) <= budget:
+                best = q
+        if best is None:
+            raise ConfigurationError(
+                f"no quality level fits budget {budget} "
+                f"(minimum load {load(self.quality_set.qmin)})"
+            )
+        return best
+
+    def positions_of(self, action: str) -> list[int]:
+        """Schedule positions of a body action's instances in vocabulary
+        order of the unfolded graph (iteration-major)."""
+        graph = self.unfolded_graph()
+        wanted = {iterated_action(action, k) for k in range(self.iterations)}
+        return [i for i, a in enumerate(graph.actions) if a in wanted]

@@ -1,0 +1,184 @@
+"""Deadline functions (Definitions 2.1/2.3).
+
+``D : A -> R+ u {+inf}`` associates with every action its *absolute*
+deadline, measured from the beginning of the cycle.  In the
+parameterized model each quality level may carry its own deadline
+function ``D_q``; the paper's prototype tool additionally assumes the
+*order* between deadlines is independent of the quality, which makes a
+single EDF schedule valid for every quality assignment.
+
+This module provides:
+
+* :class:`DeadlineFunction` — a concrete ``D`` (possibly quality-
+  indexed via :class:`QualityDeadlineTable`),
+* deadline *patterns* used by the experiments: a uniform end-of-cycle
+  deadline (the MPEG-4 frame budget) and linearly spread per-iteration
+  deadlines (smoothness-oriented pacing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.action import Action, QualitySet, split_iterated_action
+from repro.core.sequences import INFINITY, Time
+from repro.errors import TimingError
+
+
+@dataclass(frozen=True)
+class DeadlineFunction:
+    """An absolute-deadline map ``D : A -> R+ u {+inf}``.
+
+    Deadlines are relative to the beginning of the cycle (the paper's
+    "deadlines on the termination of actions since the beginning of a
+    cycle").  A missing entry means ``+inf`` when ``total`` is False.
+    """
+
+    values: Mapping[Action, Time]
+    total: bool = True
+
+    def __post_init__(self) -> None:
+        for action, value in self.values.items():
+            if value < 0:
+                raise TimingError(f"negative deadline {value} for action {action!r}")
+
+    def __call__(self, action: Action) -> Time:
+        value = self.values.get(action)
+        if value is None:
+            base, _ = split_iterated_action(action)
+            value = self.values.get(base)
+        if value is None:
+            if self.total:
+                raise TimingError(f"no deadline defined for action {action!r}")
+            return INFINITY
+        return value
+
+    def over(self, sequence: Sequence[Action]) -> list[Time]:
+        """``D(alpha)`` — the deadline sequence of an execution sequence."""
+        return [self(action) for action in sequence]
+
+    def shifted(self, offset: Time) -> "DeadlineFunction":
+        """All deadlines shifted by ``offset`` (re-arming a new cycle).
+
+        Infinite deadlines stay infinite.
+        """
+        return DeadlineFunction(
+            {a: (d + offset if d != INFINITY else INFINITY) for a, d in self.values.items()},
+            total=self.total,
+        )
+
+    def scaled(self, factor: float) -> "DeadlineFunction":
+        if factor <= 0:
+            raise TimingError(f"scale factor must be positive, got {factor}")
+        return DeadlineFunction(
+            {a: (d * factor if d != INFINITY else INFINITY) for a, d in self.values.items()},
+            total=self.total,
+        )
+
+    @classmethod
+    def uniform(cls, actions: Iterable[Action], deadline: Time) -> "DeadlineFunction":
+        """Every action must finish by the same instant (frame budget)."""
+        return cls({a: deadline for a in actions})
+
+    @classmethod
+    def unconstrained(cls, actions: Iterable[Action]) -> "DeadlineFunction":
+        """All deadlines +inf (soft best-effort execution)."""
+        return cls({a: INFINITY for a in actions})
+
+
+class QualityDeadlineTable:
+    """The family ``{D_q}_{q in Q}`` of Definition 2.3.
+
+    Most deployments (and the paper's MPEG-4 example) use deadlines that
+    do not depend on the quality; :meth:`quality_independent` builds
+    that common case.  :meth:`order_is_quality_independent` checks the
+    prototype-tool assumption that enables pre-computed EDF schedules.
+    """
+
+    def __init__(self, quality_set: QualitySet, per_quality: Mapping[int, DeadlineFunction]):
+        missing = [q for q in quality_set if q not in per_quality]
+        if missing:
+            raise TimingError(f"deadline table missing quality levels {missing}")
+        self._quality_set = quality_set
+        self._per_quality = dict(per_quality)
+
+    @classmethod
+    def quality_independent(
+        cls, quality_set: QualitySet, deadlines: DeadlineFunction
+    ) -> "QualityDeadlineTable":
+        return cls(quality_set, {q: deadlines for q in quality_set})
+
+    @property
+    def quality_set(self) -> QualitySet:
+        return self._quality_set
+
+    def at_quality(self, quality: int) -> DeadlineFunction:
+        if quality not in self._quality_set:
+            raise TimingError(f"quality {quality} not in Q={tuple(self._quality_set)}")
+        return self._per_quality[quality]
+
+    def deadline(self, action: Action, quality: int) -> Time:
+        return self.at_quality(quality)(action)
+
+    def under(self, assignment) -> Callable[[Action], Time]:
+        """``D_theta`` with ``D_theta(a) = D_theta(a)(a)``."""
+
+        def deadline_of(action: Action) -> Time:
+            return self._per_quality[assignment(action)](action)
+
+        return deadline_of
+
+    def order_is_quality_independent(self, actions: Sequence[Action]) -> bool:
+        """True when sorting actions by deadline yields the same order at
+        every quality level (the prototype tool's applicability condition).
+        """
+        reference: list[Action] | None = None
+        rank = {a: i for i, a in enumerate(actions)}
+        for q in self._quality_set:
+            deadline_of = self._per_quality[q]
+            order = sorted(actions, key=lambda a: (deadline_of(a), rank[a]))
+            if reference is None:
+                reference = order
+            elif order != reference:
+                return False
+        return True
+
+    def shifted(self, offset: Time) -> "QualityDeadlineTable":
+        return QualityDeadlineTable(
+            self._quality_set,
+            {q: d.shifted(offset) for q, d in self._per_quality.items()},
+        )
+
+
+def linear_iteration_deadlines(
+    body_actions: Sequence[Action],
+    iterations: int,
+    cycle_budget: Time,
+    slack_fraction: float = 0.0,
+) -> DeadlineFunction:
+    """Per-iteration pacing deadlines for an unfolded iterated graph.
+
+    Iteration ``k`` (0-based) of the body must complete by
+    ``(k+1)/iterations * cycle_budget`` stretched by ``slack_fraction``
+    (a fraction of the budget granted as extra slack to every iteration
+    except the last, which keeps the hard cycle budget).  With
+    ``slack_fraction = 0`` this paces the cycle perfectly evenly — a
+    deadline pattern that keeps quality variations smooth because no
+    single iteration may hoard the budget.
+    """
+    if iterations <= 0:
+        raise TimingError(f"iterations must be positive, got {iterations}")
+    if not 0.0 <= slack_fraction <= 1.0:
+        raise TimingError(f"slack_fraction must be in [0, 1], got {slack_fraction}")
+    from repro.core.action import iterated_action
+
+    values: dict[Action, Time] = {}
+    for k in range(iterations):
+        pace = (k + 1) / iterations * cycle_budget
+        deadline = min(cycle_budget, pace + slack_fraction * cycle_budget)
+        if k == iterations - 1:
+            deadline = cycle_budget
+        for action in body_actions:
+            values[iterated_action(action, k)] = deadline
+    return DeadlineFunction(values)

@@ -1,0 +1,116 @@
+"""EDF scheduling — the paper's ``Best_Sched`` component (section 2.2).
+
+For systems with known execution times, feasible schedules can be
+computed statically, e.g. as EDF schedules [Buttazzo 2000]: repeatedly
+run, among the ready actions (all precedence predecessors completed),
+the one with the earliest deadline.  EDF is optimal for this
+single-resource, non-preemptive-within-action setting in the sense that
+if any precedence-compatible order meets all deadlines, the EDF order
+does too when actions are released together (classic Jackson/EDF
+argument on a work-conserving single machine with identical release
+times).
+
+``Best_Sched(alpha, theta, i)`` must return a schedule that *preserves
+the executed prefix* ``alpha[1, i]`` and orders the remaining actions by
+EDF under the deadline function induced by ``theta``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.action import Action
+from repro.core.precedence import PrecedenceGraph
+from repro.core.sequences import Time
+from repro.errors import SequenceError
+
+
+def edf_schedule(
+    graph: PrecedenceGraph,
+    deadline_of: Callable[[Action], Time],
+) -> list[Action]:
+    """A full EDF schedule of ``graph`` under ``deadline_of``.
+
+    Ties are broken by vocabulary order, making the result
+    deterministic (and therefore cacheable by the prototype tool).
+    """
+    return graph.topological_order(priority=deadline_of)
+
+
+def best_sched(
+    graph: PrecedenceGraph,
+    current: Sequence[Action],
+    deadline_of: Callable[[Action], Time],
+    prefix_length: int,
+) -> list[Action]:
+    """The paper's ``Best_Sched(alpha, theta_q, i)``.
+
+    Keeps the first ``prefix_length`` actions of ``current`` (already
+    executed — their order is history and cannot change) and EDF-orders
+    the remaining actions under ``deadline_of`` (which is ``D_theta_q``).
+
+    Raises :class:`SequenceError` if the prefix itself is not a valid
+    execution sequence of ``graph``.
+    """
+    if prefix_length < 0 or prefix_length > len(current):
+        raise SequenceError(
+            f"prefix length {prefix_length} out of range for sequence of "
+            f"length {len(current)}"
+        )
+    prefix = list(current[:prefix_length])
+    graph.validate_execution_sequence(prefix)
+
+    executed = set(prefix)
+    remaining = [a for a in graph.actions if a not in executed]
+    if len(executed) + len(remaining) != len(graph.actions):
+        raise SequenceError("prefix contains actions outside the graph")
+
+    rank = {a: i for i, a in enumerate(graph.actions)}
+    indegree: dict[Action, int] = {}
+    for action in remaining:
+        indegree[action] = sum(1 for p in graph.predecessors(action) if p not in executed)
+
+    key = lambda a: (deadline_of(a), rank[a])
+    ready = sorted((a for a in remaining if indegree[a] == 0), key=key)
+    tail: list[Action] = []
+    while ready:
+        current_action = ready.pop(0)
+        tail.append(current_action)
+        changed = False
+        for nxt in graph.successors(current_action):
+            if nxt in indegree and nxt not in executed:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+                    changed = True
+        if changed:
+            ready.sort(key=key)
+    if len(tail) != len(remaining):
+        raise SequenceError("could not schedule remaining actions (cycle?)")
+    return prefix + tail
+
+
+def is_edf_order(
+    graph: PrecedenceGraph,
+    sequence: Sequence[Action],
+    deadline_of: Callable[[Action], Time],
+) -> bool:
+    """Check that ``sequence`` is *an* EDF order of ``graph``.
+
+    At every position, the scheduled action must have a deadline no
+    later than every other action that was ready at that point.
+    (Multiple EDF orders exist when deadlines tie.)
+    """
+    if not graph.is_schedule(sequence):
+        return False
+    executed: set[Action] = set()
+    for action in sequence:
+        ready = [
+            a
+            for a in graph.actions
+            if a not in executed and all(p in executed for p in graph.predecessors(a))
+        ]
+        if any(deadline_of(other) < deadline_of(action) for other in ready):
+            return False
+        executed.add(action)
+    return True

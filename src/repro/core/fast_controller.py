@@ -1,0 +1,205 @@
+"""Table-driven QoS controller — the generated ("compiled") controller.
+
+The paper's compiler links the EDF schedule, the pre-computed constraint
+tables and a generic controller into the application.  This class is
+that generic controller: it never re-runs the scheduler or re-walks
+suffixes at runtime; each decision is an O(|Q|) comparison of the cycle
+counter against one table row.
+
+It presents the same interface as
+:class:`repro.core.controller.ReferenceController` (``start_cycle`` /
+``decide`` / ``record_completion``) and is verified by tests to take
+identical decisions on identical inputs.  On top of that it supports:
+
+* per-cycle deadline *shifts* (re-arming the same tables when the frame
+  budget moves with buffer occupancy),
+* a decision *granularity* — re-decide the quality only every
+  ``granularity``-th action, executing the other actions at the last
+  chosen level.  ``granularity=1`` is the paper's fine-grain control;
+  large values emulate the coarse-grain prior art the paper argues
+  against (decide once per cycle), enabling the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.action import Action
+from repro.core.policies import DecisionContext, MaximalQualityPolicy, QualityPolicy
+from repro.core.sequences import Time
+from repro.core.system import ParameterizedSystem
+from repro.core.tables import ControllerTables
+from repro.errors import ConfigurationError, SequenceError
+
+
+@dataclass(frozen=True)
+class FastDecision:
+    """One table-driven controller step."""
+
+    step: int
+    action: Action
+    quality: int
+    fresh: bool
+    degraded: bool
+
+
+class TableDrivenController:
+    """The compiled controller: EDF schedule + slack tables + policy.
+
+    Parameters
+    ----------
+    system:
+        The parameterized system (must satisfy the prototype-tool
+        condition: quality-independent deadline order).
+    policy:
+        Quality-selection policy (default: the paper's maximal policy).
+    constraint_mode:
+        ``"both"`` / ``"average"`` / ``"worst"`` (see the reference
+        controller).
+    granularity:
+        Re-decide the quality every this-many actions (1 = per action).
+    tables:
+        Pre-built tables; built from the system when omitted.
+    validate:
+        Check the qmin-feasibility precondition (default True).
+    """
+
+    def __init__(
+        self,
+        system: ParameterizedSystem,
+        policy: QualityPolicy | None = None,
+        constraint_mode: str = "both",
+        granularity: int = 1,
+        tables: ControllerTables | None = None,
+        validate: bool = True,
+    ) -> None:
+        if granularity < 1:
+            raise ConfigurationError(f"granularity must be >= 1, got {granularity}")
+        if validate:
+            system.validate()
+        self.system = system
+        self.policy = policy if policy is not None else MaximalQualityPolicy()
+        self.constraint_mode = constraint_mode
+        self.granularity = granularity
+        self.tables = tables if tables is not None else ControllerTables.from_system(system)
+        self.schedule: tuple[Action, ...] = self.tables.schedule
+        self._qmin = system.qmin
+        self._quality_set = system.quality_set
+        self.start_cycle()
+
+    # ------------------------------------------------------------------
+    # cycle lifecycle
+    # ------------------------------------------------------------------
+
+    def start_cycle(self, deadline_shift: Time = 0.0) -> None:
+        """Re-arm at location 0; ``deadline_shift`` moves every deadline.
+
+        A positive shift models a larger-than-nominal budget for this
+        cycle (e.g. the input buffer was empty and the frame arrived
+        early); a negative one models a tighter budget.
+        """
+        self.step = 0
+        self.elapsed: Time = 0.0
+        self.shift = deadline_shift
+        self.previous_quality: int | None = None
+        self.current_quality: int = self._qmin
+        self.decisions_made = 0
+        self.degraded_steps = 0
+        self.quality_trace: list[int] = []
+        self._pending = False
+        reset = getattr(self.policy, "reset", None)
+        if callable(reset):
+            reset()
+
+    @property
+    def done(self) -> bool:
+        return self.step >= len(self.schedule)
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def decide(self) -> FastDecision:
+        """Pick the next action and its quality from the tables."""
+        if self.done:
+            raise SequenceError("controller cycle is complete; call start_cycle()")
+        if self._pending:
+            raise SequenceError("previous decision not yet completed")
+
+        i = self.step
+        fresh = i % self.granularity == 0
+        degraded = False
+        if fresh:
+            feasible = self.tables.feasible_qualities(
+                i, self.elapsed, self.shift, self.constraint_mode
+            )
+            if not feasible:
+                degraded = True
+                chosen = self._qmin
+            else:
+                context = DecisionContext(
+                    step=i,
+                    previous_quality=self.previous_quality,
+                    quality_set=self._quality_set,
+                )
+                chosen = self.policy.select(feasible, context)
+            self.current_quality = chosen
+            self.decisions_made += 1
+        else:
+            chosen = self.current_quality
+
+        if degraded:
+            self.degraded_steps += 1
+        self._pending = True
+        return FastDecision(
+            step=i,
+            action=self.schedule[i],
+            quality=chosen,
+            fresh=fresh,
+            degraded=degraded,
+        )
+
+    def record_completion(self, actual_time: Time) -> None:
+        if not self._pending:
+            raise SequenceError("no pending decision to complete")
+        if actual_time < 0:
+            raise ConfigurationError(f"actual execution time must be >= 0, got {actual_time}")
+        self.elapsed += actual_time
+        self.previous_quality = self.current_quality
+        self.quality_trace.append(self.current_quality)
+        self._pending = False
+        self.step += 1
+
+    # ------------------------------------------------------------------
+    # zero-overhead query used by the tight simulation loops
+    # ------------------------------------------------------------------
+
+    def peek_max_quality(self, position: int, elapsed: Time) -> int | None:
+        """``qM`` at an arbitrary location/time without mutating state."""
+        return self.tables.max_feasible_quality(
+            position, elapsed, self.shift, self.constraint_mode
+        )
+
+    def run_cycle(self, time_source, deadline_shift: Time = 0.0) -> "FastCycleResult":
+        """Drive a full cycle against ``time_source(action, quality)``."""
+        self.start_cycle(deadline_shift)
+        while not self.done:
+            decision = self.decide()
+            actual = time_source(decision.action, decision.quality)
+            self.record_completion(actual)
+        return FastCycleResult(
+            qualities=tuple(self.quality_trace),
+            total_time=self.elapsed,
+            decisions_made=self.decisions_made,
+            degraded_steps=self.degraded_steps,
+        )
+
+
+@dataclass(frozen=True)
+class FastCycleResult:
+    """Outcome of one table-driven cycle."""
+
+    qualities: tuple[int, ...]
+    total_time: Time
+    decisions_made: int
+    degraded_steps: int

@@ -1,0 +1,166 @@
+"""Quality-manager selection policies.
+
+The paper's quality manager picks the *maximal* quality satisfying
+``Qual_Const`` — that is what makes the control policy optimal (best
+quality within the budget).  Section 4 mentions two refinements this
+module also provides:
+
+* soft deadlines — only the average constraint applies (a *constraint
+  mode* on the controller, see
+  :class:`repro.core.controller.ReferenceController`);
+* smoothness — "specific conditions guaranteeing smoothness in terms of
+  variations of quality levels": implemented here as selection policies
+  that bound or damp quality changes between consecutive decisions.
+
+A policy receives the set of constraint-satisfying qualities (always
+non-empty in a validated system) and the previous decision, and returns
+the level to run.  Policies must pick *within* the feasible set, so
+every policy inherits the controller's safety guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.core.action import QualitySet
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DecisionContext:
+    """Information available to a selection policy at one control location."""
+
+    step: int
+    previous_quality: int | None
+    quality_set: QualitySet
+
+
+class QualityPolicy(Protocol):
+    """Strategy interface for the quality manager's final selection."""
+
+    def select(self, feasible: Sequence[int], context: DecisionContext) -> int:
+        """Pick a quality from ``feasible`` (sorted increasing, non-empty)."""
+        ...
+
+
+class MaximalQualityPolicy:
+    """The paper's policy: ``qM = max{ q | Qual_Const(...) }``."""
+
+    def select(self, feasible: Sequence[int], context: DecisionContext) -> int:
+        return feasible[-1]
+
+    def __repr__(self) -> str:
+        return "MaximalQualityPolicy()"
+
+
+class BoundedStepPolicy:
+    """Maximal quality, but never further than ``max_step`` levels from
+    the previous decision.
+
+    This is the simplest smoothness condition: quality ramps instead of
+    jumping, which avoids visible oscillation in encoded video.  The
+    bound applies in both directions *except* downwards when safety
+    requires a larger drop — the feasible set already encodes safety, so
+    the policy clamps to the best feasible level within the band, or the
+    highest feasible level below the band when the band is empty.
+    """
+
+    def __init__(self, max_step: int = 1):
+        if max_step < 1:
+            raise ConfigurationError(f"max_step must be >= 1, got {max_step}")
+        self.max_step = max_step
+
+    def select(self, feasible: Sequence[int], context: DecisionContext) -> int:
+        best = feasible[-1]
+        previous = context.previous_quality
+        if previous is None:
+            return best
+        ranks = context.quality_set.levels
+        previous_rank = ranks.index(previous)
+        low = previous_rank - self.max_step
+        high = previous_rank + self.max_step
+        banded = [q for q in feasible if low <= ranks.index(q) <= high]
+        if banded:
+            return banded[-1]
+        # Safety forced a drop below the band: take the closest feasible.
+        below = [q for q in feasible if ranks.index(q) < low]
+        if below:
+            return below[-1]
+        return feasible[0]
+
+    def __repr__(self) -> str:
+        return f"BoundedStepPolicy(max_step={self.max_step})"
+
+
+class HysteresisPolicy:
+    """Maximal quality with an upgrade debounce.
+
+    Downgrades (forced by the constraints) are immediate, but an
+    upgrade is taken only after the higher level has been feasible for
+    ``patience`` consecutive decisions.  This suppresses chattering when
+    the load sits right at a quality boundary.
+    """
+
+    def __init__(self, patience: int = 2):
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self._pending_upgrade: int | None = None
+        self._pending_count = 0
+
+    def reset(self) -> None:
+        self._pending_upgrade = None
+        self._pending_count = 0
+
+    def select(self, feasible: Sequence[int], context: DecisionContext) -> int:
+        best = feasible[-1]
+        previous = context.previous_quality
+        if previous is None:
+            return best
+        if best <= previous:
+            self._pending_upgrade = None
+            self._pending_count = 0
+            if previous in feasible:
+                return previous
+            return best
+        # best > previous: debounce the upgrade.
+        if self._pending_upgrade is not None and best >= self._pending_upgrade:
+            self._pending_count += 1
+        else:
+            self._pending_upgrade = best
+            self._pending_count = 1
+        if self._pending_count >= self.patience:
+            self._pending_upgrade = None
+            self._pending_count = 0
+            return best
+        if previous in feasible:
+            return previous
+        return max(q for q in feasible if q <= previous)
+
+    def __repr__(self) -> str:
+        return f"HysteresisPolicy(patience={self.patience})"
+
+
+class FixedQualityPolicy:
+    """Always request the same level (clamped into the feasible set).
+
+    Used to express the constant-quality industrial baseline through the
+    same controller machinery in ablation studies; the stand-alone
+    baseline in :mod:`repro.baselines.constant` bypasses constraints
+    entirely, as real constant-quality encoders do.
+    """
+
+    def __init__(self, quality: int):
+        self.quality = quality
+
+    def select(self, feasible: Sequence[int], context: DecisionContext) -> int:
+        if self.quality in feasible:
+            return self.quality
+        lower = [q for q in feasible if q < self.quality]
+        if lower:
+            return lower[-1]
+        return feasible[0]
+
+    def __repr__(self) -> str:
+        return f"FixedQualityPolicy(quality={self.quality})"

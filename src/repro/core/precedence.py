@@ -1,0 +1,265 @@
+"""Precedence graphs (Definition 2.1).
+
+A real-time system's application software is modelled by a partial
+order on its actions, represented by a precedence graph
+``G = (A, ->)`` with ``-> subset of A x A``.  An action ``a'`` can start
+only once every predecessor ``a`` with ``a -> a'`` has completed.
+
+The graph must be acyclic: a cyclic precedence relation admits no
+execution sequence.  This module implements the graph datatype plus the
+traversals the rest of the library needs: topological orders,
+execution-sequence validation, transitive closure and iterated
+(unfolded) composition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.action import Action, iterated_action
+from repro.errors import GraphError, SequenceError
+
+
+@dataclass(frozen=True)
+class PrecedenceGraph:
+    """An immutable DAG over a finite action vocabulary.
+
+    Parameters
+    ----------
+    actions:
+        The action vocabulary ``A`` (order is preserved and used as a
+        deterministic tie-break in traversals).
+    edges:
+        The precedence relation ``->`` as ``(a, a')`` pairs meaning
+        ``a`` must complete before ``a'`` starts.
+    """
+
+    actions: tuple[Action, ...]
+    edges: frozenset[tuple[Action, Action]]
+    _successors: Mapping[Action, tuple[Action, ...]] = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+    _predecessors: Mapping[Action, tuple[Action, ...]] = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if len(set(self.actions)) != len(self.actions):
+            raise GraphError("duplicate actions in vocabulary")
+        known = set(self.actions)
+        for src, dst in self.edges:
+            if src not in known or dst not in known:
+                raise GraphError(f"edge ({src!r}, {dst!r}) references unknown action")
+            if src == dst:
+                raise GraphError(f"self-loop on action {src!r}")
+        succ: dict[Action, list[Action]] = {a: [] for a in self.actions}
+        pred: dict[Action, list[Action]] = {a: [] for a in self.actions}
+        rank = {a: i for i, a in enumerate(self.actions)}
+        for src, dst in sorted(self.edges, key=lambda e: (rank[e[0]], rank[e[1]])):
+            succ[src].append(dst)
+            pred[dst].append(src)
+        object.__setattr__(self, "_successors", {a: tuple(v) for a, v in succ.items()})
+        object.__setattr__(self, "_predecessors", {a: tuple(v) for a, v in pred.items()})
+        # Reject cyclic precedence relations up front: Kahn's algorithm
+        # must consume every action.
+        if len(self.topological_order()) != len(self.actions):
+            raise GraphError("precedence relation contains a cycle")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Action, Action]],
+        actions: Iterable[Action] | None = None,
+    ) -> "PrecedenceGraph":
+        """Build a graph from an edge list, inferring the vocabulary if needed."""
+        edge_list = [(str(a), str(b)) for a, b in edges]
+        if actions is None:
+            seen: list[Action] = []
+            for a, b in edge_list:
+                for x in (a, b):
+                    if x not in seen:
+                        seen.append(x)
+            vocabulary = tuple(seen)
+        else:
+            vocabulary = tuple(actions)
+        return cls(vocabulary, frozenset(edge_list))
+
+    @classmethod
+    def chain(cls, actions: Sequence[Action]) -> "PrecedenceGraph":
+        """A total order ``a1 -> a2 -> ... -> an`` (a simple pipeline)."""
+        acts = tuple(actions)
+        return cls(acts, frozenset(zip(acts, acts[1:])))
+
+    @classmethod
+    def independent(cls, actions: Sequence[Action]) -> "PrecedenceGraph":
+        """A graph with no precedence constraints at all."""
+        return cls(tuple(actions), frozenset())
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __contains__(self, action: object) -> bool:
+        return action in self._successors
+
+    def successors(self, action: Action) -> tuple[Action, ...]:
+        """Direct successors of ``action`` (actions it must precede)."""
+        self._require(action)
+        return self._successors[action]
+
+    def predecessors(self, action: Action) -> tuple[Action, ...]:
+        """Direct predecessors of ``action`` (actions that must precede it)."""
+        self._require(action)
+        return self._predecessors[action]
+
+    def sources(self) -> tuple[Action, ...]:
+        """Actions with no predecessors (ready at the start of a cycle)."""
+        return tuple(a for a in self.actions if not self._predecessors[a])
+
+    def sinks(self) -> tuple[Action, ...]:
+        """Actions with no successors."""
+        return tuple(a for a in self.actions if not self._successors[a])
+
+    def _require(self, action: Action) -> None:
+        if action not in self._successors:
+            raise GraphError(f"unknown action {action!r}")
+
+    # ------------------------------------------------------------------
+    # traversals
+    # ------------------------------------------------------------------
+
+    def topological_order(self, priority: Callable[[Action], object] | None = None) -> list[Action]:
+        """A topological order of the actions (Kahn's algorithm).
+
+        ``priority`` breaks ties between simultaneously-ready actions
+        (smaller priority value first); by default the vocabulary order
+        is used, making the result deterministic.  This is the engine
+        behind EDF scheduling: pass the deadline as the priority.
+        """
+        rank = {a: i for i, a in enumerate(self.actions)}
+        if priority is None:
+            key: Callable[[Action], object] = lambda a: rank[a]
+        else:
+            key = lambda a: (priority(a), rank[a])
+
+        indegree = {a: len(self._predecessors[a]) for a in self.actions}
+        ready = sorted((a for a in self.actions if indegree[a] == 0), key=key)
+        order: list[Action] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            changed = False
+            for nxt in self._successors[current]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+                    changed = True
+            if changed:
+                ready.sort(key=key)
+        return order
+
+    def is_execution_sequence(self, sequence: Sequence[Action]) -> bool:
+        """Check the execution-sequence condition of section 2.1.
+
+        A sequence of *distinct* actions is an execution sequence when
+        the induced order is compatible with the precedence relation and
+        every prefix is predecessor-closed: an action may appear only
+        after all of its predecessors.
+        """
+        seen: set[Action] = set()
+        for action in sequence:
+            if action not in self._successors:
+                return False
+            if action in seen:
+                return False
+            if any(p not in seen for p in self._predecessors[action]):
+                return False
+            seen.add(action)
+        return True
+
+    def validate_execution_sequence(self, sequence: Sequence[Action]) -> None:
+        """Like :meth:`is_execution_sequence` but raises with a diagnosis."""
+        seen: set[Action] = set()
+        for position, action in enumerate(sequence):
+            if action not in self._successors:
+                raise SequenceError(f"position {position}: unknown action {action!r}")
+            if action in seen:
+                raise SequenceError(f"position {position}: action {action!r} repeated")
+            missing = [p for p in self._predecessors[action] if p not in seen]
+            if missing:
+                raise SequenceError(
+                    f"position {position}: action {action!r} runs before "
+                    f"predecessor(s) {missing}"
+                )
+            seen.add(action)
+
+    def is_schedule(self, sequence: Sequence[Action]) -> bool:
+        """A *schedule* is an execution sequence where every action occurs."""
+        return len(sequence) == len(self.actions) and self.is_execution_sequence(sequence)
+
+    def ancestors(self, action: Action) -> frozenset[Action]:
+        """All transitive predecessors of ``action``."""
+        self._require(action)
+        found: set[Action] = set()
+        frontier = deque(self._predecessors[action])
+        while frontier:
+            current = frontier.popleft()
+            if current in found:
+                continue
+            found.add(current)
+            frontier.extend(self._predecessors[current])
+        return frozenset(found)
+
+    def descendants(self, action: Action) -> frozenset[Action]:
+        """All transitive successors of ``action``."""
+        self._require(action)
+        found: set[Action] = set()
+        frontier = deque(self._successors[action])
+        while frontier:
+            current = frontier.popleft()
+            if current in found:
+                continue
+            found.add(current)
+            frontier.extend(self._successors[current])
+        return frozenset(found)
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+
+    def unfold(self, iterations: int, serialize: bool = True) -> "PrecedenceGraph":
+        """Unfold this graph as the body of a loop executed ``iterations`` times.
+
+        Every action ``a`` becomes ``a#k`` for ``k in 0..iterations-1``
+        with the body's edges replicated per iteration.  When
+        ``serialize`` is true (the paper's single-threaded setting),
+        iteration ``k`` must fully precede iteration ``k+1``: edges are
+        added from the sinks of iteration ``k`` to the sources of
+        iteration ``k+1``.
+        """
+        if iterations <= 0:
+            raise GraphError(f"iterations must be positive, got {iterations}")
+        actions: list[Action] = []
+        edges: set[tuple[Action, Action]] = set()
+        for k in range(iterations):
+            actions.extend(iterated_action(a, k) for a in self.actions)
+            edges.update(
+                (iterated_action(a, k), iterated_action(b, k)) for a, b in self.edges
+            )
+            if serialize and k > 0:
+                for sink in self.sinks():
+                    for source in self.sources():
+                        edges.add((iterated_action(sink, k - 1), iterated_action(source, k)))
+        return PrecedenceGraph(tuple(actions), frozenset(edges))
+
+    def restricted_to(self, keep: Iterable[Action]) -> "PrecedenceGraph":
+        """The induced subgraph on ``keep`` (transitive edges are *not* added)."""
+        kept = [a for a in self.actions if a in set(keep)]
+        kept_set = set(kept)
+        edges = frozenset((a, b) for a, b in self.edges if a in kept_set and b in kept_set)
+        return PrecedenceGraph(tuple(kept), edges)

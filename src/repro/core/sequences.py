@@ -1,0 +1,93 @@
+"""Execution sequences and cumulative-time arithmetic (section 2.1).
+
+The paper extends execution-time and deadline functions to sequences:
+for an execution sequence ``alpha`` of length ``n``,
+
+* ``C(alpha) = C(alpha(1)), ..., C(alpha(n))`` is the sequence of the
+  execution times of its elements,
+* ``sigma-hat`` denotes cumulative sums:
+  ``sigma_hat(i) = sum_{j<=i} sigma(j)``,
+* ``min(sigma)`` is the minimum element.
+
+Positions are 1-based in the paper; this module keeps Python's 0-based
+indexing internally but mirrors the paper's operators exactly.  The
+sequence utilities here are deliberately dependency-free (pure Python
+lists) — they are the *reference* semantics against which the
+numpy-accelerated table implementations are tested.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.action import Action
+
+#: A time value: non-negative float; ``float("inf")`` models +infinity.
+Time = float
+
+INFINITY: Time = float("inf")
+
+
+def cumulative(values: Sequence[Time]) -> list[Time]:
+    """The paper's hat operator: ``sigma_hat(i) = sum_{j<=i} sigma(j)``.
+
+    >>> cumulative([1.0, 2.0, 3.0])
+    [1.0, 3.0, 6.0]
+    """
+    total = 0.0
+    out: list[Time] = []
+    for value in values:
+        total += value
+        out.append(total)
+    return out
+
+
+def pointwise_difference(left: Sequence[Time], right: Sequence[Time]) -> list[Time]:
+    """Element-wise ``left - right`` (used for ``D(alpha) - C_hat(alpha)``)."""
+    if len(left) != len(right):
+        raise ValueError(f"length mismatch: {len(left)} vs {len(right)}")
+    return [l - r for l, r in zip(left, right)]
+
+
+def sequence_times(
+    sequence: Sequence[Action], time_of: Callable[[Action], Time]
+) -> list[Time]:
+    """Extend a time function to a sequence: ``C(alpha)`` (section 2.1)."""
+    return [time_of(action) for action in sequence]
+
+
+def minimum(values: Sequence[Time]) -> Time:
+    """``min(sigma)``; the minimum over an empty sequence is +infinity.
+
+    The empty-sequence convention makes the feasibility predicate
+    ``min(D(alpha) - C_hat(alpha)) >= 0`` vacuously true for empty
+    suffixes, matching the paper's constraint semantics at the last
+    control location.
+    """
+    return min(values) if values else INFINITY
+
+
+def suffix(sequence: Sequence[Action], start: int) -> list[Action]:
+    """The paper's ``alpha[i+1, n]`` suffix for a 0-based ``start`` index.
+
+    ``suffix(alpha, i)`` returns the actions at 0-based positions
+    ``i, i+1, ..., n-1`` — i.e. everything not yet executed when the
+    control location is ``i``.
+    """
+    if start < 0:
+        raise ValueError(f"suffix start must be >= 0, got {start}")
+    return list(sequence[start:])
+
+
+def prefixes_agree(
+    first: Sequence[Action], second: Sequence[Action], length: int
+) -> bool:
+    """Do two sequences share the same prefix of the given length?
+
+    Successive controller pairs ``(alpha_i, theta_i)`` and
+    ``(alpha_{i+1}, theta_{i+1})`` must be *compatible*: their prefixes
+    of length ``i`` agree (section 2.2).
+    """
+    if length > min(len(first), len(second)):
+        return False
+    return list(first[:length]) == list(second[:length])

@@ -1,0 +1,138 @@
+"""Parameterized real-time systems (Definition 2.3) and problem validation.
+
+A parameterized real-time system bundles:
+
+* a precedence graph ``G``,
+* a finite quality set ``Q``,
+* per-quality average and worst-case execution-time tables
+  (``Cav_q <= Cwc_q``, non-decreasing in ``q``),
+* per-quality deadline functions ``D_q``.
+
+The control problem of section 2.1 is well-posed only when the set of
+feasible schedules with respect to ``Cwc_qmin`` and ``D_qmin`` is
+non-empty; :meth:`ParameterizedSystem.validate` checks this by testing
+the EDF schedule (EDF optimality: if EDF at qmin misses a deadline, no
+schedule meets them all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.action import Action, QualitySet
+from repro.core.deadlines import DeadlineFunction, QualityDeadlineTable
+from repro.core.edf import edf_schedule
+from repro.core.feasibility import check_feasibility
+from repro.core.precedence import PrecedenceGraph
+from repro.core.sequences import Time
+from repro.core.timing import QualityTimeTable
+from repro.errors import InfeasibleError, TimingError
+
+
+@dataclass(frozen=True)
+class ParameterizedSystem:
+    """The tuple ``(G, Q, {Cav_q}, {Cwc_q}, {D_q})`` of Definition 2.3."""
+
+    graph: PrecedenceGraph
+    quality_set: QualitySet
+    average_times: QualityTimeTable
+    worst_times: QualityTimeTable
+    deadlines: QualityDeadlineTable
+
+    def __post_init__(self) -> None:
+        if tuple(self.average_times.quality_set) != tuple(self.quality_set):
+            raise TimingError("average-time table quality set differs from system Q")
+        if tuple(self.worst_times.quality_set) != tuple(self.quality_set):
+            raise TimingError("worst-case table quality set differs from system Q")
+        if tuple(self.deadlines.quality_set) != tuple(self.quality_set):
+            raise TimingError("deadline table quality set differs from system Q")
+        QualityTimeTable.validate_bounds(self.average_times, self.worst_times)
+        # Every graph action must have timings at every level (tables may
+        # be defined on base names of unfolded instances).
+        for action in self.graph.actions:
+            for q in (self.quality_set.qmin, self.quality_set.qmax):
+                self.average_times.time(action, q)
+                self.worst_times.time(action, q)
+                self.deadlines.deadline(action, q)
+
+    @property
+    def qmin(self) -> int:
+        return self.quality_set.qmin
+
+    @property
+    def qmax(self) -> int:
+        return self.quality_set.qmax
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+
+    def cav(self, quality: int) -> Callable[[Action], Time]:
+        """``Cav_q`` as a callable."""
+        return self.average_times.at_quality(quality)
+
+    def cwc(self, quality: int) -> Callable[[Action], Time]:
+        """``Cwc_q`` as a callable."""
+        return self.worst_times.at_quality(quality)
+
+    def deadline_at(self, quality: int) -> DeadlineFunction:
+        """``D_q``."""
+        return self.deadlines.at_quality(quality)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def baseline_schedule(self) -> list[Action]:
+        """The EDF schedule at minimum quality — the safety fallback order."""
+        return edf_schedule(self.graph, self.deadline_at(self.qmin))
+
+    def validate(self) -> list[Action]:
+        """Check the Problem's precondition and return the qmin EDF schedule.
+
+        Raises :class:`InfeasibleError` when even the EDF schedule at
+        minimum quality, under worst-case times, misses a deadline —
+        in that case no controller can guarantee safety.
+        """
+        schedule = self.baseline_schedule()
+        report = check_feasibility(
+            schedule, self.cwc(self.qmin), self.deadline_at(self.qmin)
+        )
+        if not report.feasible:
+            position = report.first_violation
+            action = schedule[position] if position is not None else None
+            raise InfeasibleError(
+                "no feasible schedule at minimum quality: EDF misses the "
+                f"deadline of {action!r} (slack {report.worst_slack})"
+            )
+        return schedule
+
+    def is_valid(self) -> bool:
+        """Non-raising version of :meth:`validate`."""
+        try:
+            self.validate()
+        except InfeasibleError:
+            return False
+        return True
+
+    def supports_precomputed_schedule(self) -> bool:
+        """The prototype-tool condition: deadline order independent of q."""
+        return self.deadlines.order_is_quality_independent(self.graph.actions)
+
+    def with_deadlines(self, deadlines: QualityDeadlineTable) -> "ParameterizedSystem":
+        """A copy of this system with different deadline requirements."""
+        return ParameterizedSystem(
+            graph=self.graph,
+            quality_set=self.quality_set,
+            average_times=self.average_times,
+            worst_times=self.worst_times,
+            deadlines=deadlines,
+        )
+
+    def with_uniform_deadline(self, budget: Time) -> "ParameterizedSystem":
+        """Same system with a single end-of-cycle deadline ``budget``."""
+        deadline = DeadlineFunction.uniform(self.graph.actions, budget)
+        return self.with_deadlines(
+            QualityDeadlineTable.quality_independent(self.quality_set, deadline)
+        )

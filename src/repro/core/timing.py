@@ -1,0 +1,220 @@
+"""Execution-time functions and quality assignments (Definitions 2.1/2.3).
+
+A *parameterized* real-time system carries, per quality level ``q``, an
+average execution-time function ``Cav_q`` and a worst-case function
+``Cwc_q`` with ``Cav_q <= Cwc_q``, both non-decreasing in ``q``.
+
+A *quality assignment* ``theta : A -> Q`` selects one level per action;
+for a family ``{X_q}`` of time functions, ``X_theta(a) = X_theta(a)(a)``.
+
+This module provides:
+
+* :class:`TimeFunction` — a concrete ``C : A -> R+ u {+inf}``,
+* :class:`QualityTimeTable` — the family ``{C_q}_{q in Q}`` with
+  monotonicity validation,
+* :class:`QualityAssignment` — ``theta`` plus the ``theta |>i q``
+  update operator used by the quality manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.action import Action, QualitySet, split_iterated_action
+from repro.core.sequences import INFINITY, Time
+from repro.errors import TimingError
+
+
+@dataclass(frozen=True)
+class TimeFunction:
+    """A total map from actions to times, ``C : A -> R+ u {+inf}``."""
+
+    values: Mapping[Action, Time]
+
+    def __post_init__(self) -> None:
+        for action, value in self.values.items():
+            if value < 0:
+                raise TimingError(f"negative time {value} for action {action!r}")
+
+    def __call__(self, action: Action) -> Time:
+        try:
+            return self.values[action]
+        except KeyError:
+            raise TimingError(f"no execution time defined for action {action!r}") from None
+
+    def __contains__(self, action: object) -> bool:
+        return action in self.values
+
+    def actions(self) -> tuple[Action, ...]:
+        return tuple(self.values)
+
+    def over(self, sequence: Sequence[Action]) -> list[Time]:
+        """``C(alpha)`` — the time sequence of an execution sequence."""
+        return [self(action) for action in sequence]
+
+    @classmethod
+    def constant(cls, actions: Iterable[Action], value: Time) -> "TimeFunction":
+        return cls({a: value for a in actions})
+
+
+class QualityTimeTable:
+    """A family ``{C_q}_{q in Q}`` of execution-time functions.
+
+    Definition 2.3 requires the functions to be non-decreasing in ``q``:
+    higher quality never runs faster.  Construction validates this.
+
+    Tables may be defined on *base* action names; when queried with an
+    unfolded instance name (``"Motion_Estimate#12"``) the base action's
+    entry is used.  This mirrors the paper's prototype tool, whose
+    inputs are tables for the macroblock body only.
+    """
+
+    def __init__(
+        self,
+        quality_set: QualitySet,
+        entries: Mapping[Action, Mapping[int, Time] | Sequence[Time] | Time],
+    ) -> None:
+        self._quality_set = quality_set
+        table: dict[Action, dict[int, Time]] = {}
+        for action, spec in entries.items():
+            if isinstance(spec, Mapping):
+                per_level = {int(q): float(t) for q, t in spec.items()}
+                missing = [q for q in quality_set if q not in per_level]
+                if missing:
+                    raise TimingError(f"action {action!r} missing levels {missing}")
+            elif isinstance(spec, (int, float)):
+                per_level = {q: float(spec) for q in quality_set}
+            else:
+                values = list(spec)
+                if len(values) != len(quality_set):
+                    raise TimingError(
+                        f"action {action!r}: expected {len(quality_set)} times, "
+                        f"got {len(values)}"
+                    )
+                per_level = dict(zip(quality_set, (float(v) for v in values)))
+            table[action] = per_level
+        for action, per_level in table.items():
+            previous: Time | None = None
+            for q in quality_set:
+                value = per_level[q]
+                if value < 0:
+                    raise TimingError(f"negative time for {action!r} at q={q}")
+                if previous is not None and value < previous:
+                    raise TimingError(
+                        f"execution times must be non-decreasing in quality: "
+                        f"{action!r} has C_{q} = {value} < {previous}"
+                    )
+                previous = value
+        self._table = table
+
+    @property
+    def quality_set(self) -> QualitySet:
+        return self._quality_set
+
+    def actions(self) -> tuple[Action, ...]:
+        return tuple(self._table)
+
+    def _entry(self, action: Action) -> dict[int, Time]:
+        entry = self._table.get(action)
+        if entry is None:
+            base, _ = split_iterated_action(action)
+            entry = self._table.get(base)
+        if entry is None:
+            raise TimingError(f"no timing entry for action {action!r}")
+        return entry
+
+    def time(self, action: Action, quality: int) -> Time:
+        """``C_q(a)`` for a quality level ``q`` in ``Q``."""
+        if quality not in self._quality_set:
+            raise TimingError(f"quality {quality} not in Q={tuple(self._quality_set)}")
+        return self._entry(action)[quality]
+
+    def at_quality(self, quality: int) -> Callable[[Action], Time]:
+        """The time function ``C_q`` as a callable."""
+        if quality not in self._quality_set:
+            raise TimingError(f"quality {quality} not in Q={tuple(self._quality_set)}")
+
+        def time_of(action: Action) -> Time:
+            return self._entry(action)[quality]
+
+        return time_of
+
+    def under(self, assignment: "QualityAssignment") -> Callable[[Action], Time]:
+        """The time function ``C_theta`` with ``C_theta(a) = C_theta(a)(a)``."""
+
+        def time_of(action: Action) -> Time:
+            return self._entry(action)[assignment(action)]
+
+        return time_of
+
+    def depends_on_quality(self, action: Action) -> bool:
+        """True when the action's time actually varies with ``q``."""
+        entry = self._entry(action)
+        values = {entry[q] for q in self._quality_set}
+        return len(values) > 1
+
+    @staticmethod
+    def validate_bounds(average: "QualityTimeTable", worst: "QualityTimeTable") -> None:
+        """Check ``Cav_q <= Cwc_q`` for every action and level (Def. 2.3)."""
+        if tuple(average.quality_set) != tuple(worst.quality_set):
+            raise TimingError("average and worst-case tables use different quality sets")
+        for action in average.actions():
+            for q in average.quality_set:
+                av = average.time(action, q)
+                wc = worst.time(action, q)
+                if av > wc:
+                    raise TimingError(
+                        f"Cav must not exceed Cwc: {action!r} at q={q} has "
+                        f"Cav={av} > Cwc={wc}"
+                    )
+
+
+@dataclass(frozen=True)
+class QualityAssignment:
+    """A quality assignment ``theta : A -> Q``.
+
+    Immutable; the quality manager's update ``theta |>i q`` (keep the
+    first ``i`` scheduled actions' qualities, set every later action to
+    ``q``) is provided by :meth:`override_suffix`.
+    """
+
+    values: Mapping[Action, int]
+
+    def __call__(self, action: Action) -> int:
+        try:
+            return self.values[action]
+        except KeyError:
+            raise TimingError(f"no quality assigned to action {action!r}") from None
+
+    def __contains__(self, action: object) -> bool:
+        return action in self.values
+
+    @classmethod
+    def constant(cls, actions: Iterable[Action], quality: int) -> "QualityAssignment":
+        """The constant assignment ``theta(a) = q`` for all ``a``."""
+        return cls({a: quality for a in actions})
+
+    def override_suffix(
+        self, sequence: Sequence[Action], prefix_length: int, quality: int
+    ) -> "QualityAssignment":
+        """The paper's ``theta |>i q`` operator.
+
+        Agrees with ``self`` on the first ``prefix_length`` elements of
+        ``sequence`` and assigns ``quality`` to every remaining element.
+        """
+        updated = dict(self.values)
+        for action in sequence[prefix_length:]:
+            updated[action] = quality
+        return QualityAssignment(updated)
+
+    def with_action(self, action: Action, quality: int) -> "QualityAssignment":
+        updated = dict(self.values)
+        updated[action] = quality
+        return QualityAssignment(updated)
+
+    def restricted_agrees(
+        self, other: "QualityAssignment", actions: Sequence[Action]
+    ) -> bool:
+        """Do two assignments agree on the given actions? (compatibility)"""
+        return all(self(a) == other(a) for a in actions)

@@ -1,0 +1,33 @@
+"""Experiment definitions reproducing the paper's evaluation (section 3).
+
+:mod:`repro.experiments.paper_data` holds the published constants
+(Fig. 5 tables, P, frame/sequence counts, bitrate);
+:mod:`repro.experiments.configs` the simulator configurations (full
+paper scale and a fast scaled-down variant with identical shape);
+:mod:`repro.experiments.figures` one function per figure that returns
+the data series the paper plots.
+"""
+
+from repro.experiments.configs import (
+    full_config,
+    scaled_config,
+    tiny_config,
+)
+from repro.experiments.figures import (
+    figure6_budget_vs_q3,
+    figure7_budget_vs_q4,
+    figure8_psnr_vs_q3,
+    figure9_psnr_vs_q4,
+)
+from repro.experiments.paper_data import PAPER
+
+__all__ = [
+    "PAPER",
+    "figure6_budget_vs_q3",
+    "figure7_budget_vs_q4",
+    "figure8_psnr_vs_q3",
+    "figure9_psnr_vs_q4",
+    "full_config",
+    "scaled_config",
+    "tiny_config",
+]

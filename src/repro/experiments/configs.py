@@ -1,0 +1,68 @@
+"""Simulator configurations for the reproduction runs.
+
+``full_config`` is the paper-scale setup (N=1620 macroblocks,
+P=320 Mcycles, 582 frames).  ``scaled_config`` divides the spatial
+resolution and period by a common factor: per-frame load *fractions*
+(and hence utilization, skip and quality dynamics) are preserved while
+runs are ~scale x faster — averaging over fewer macroblocks adds a
+little per-frame variance, which slightly exaggerates burstiness but
+changes none of the qualitative outcomes.  Benches default to the
+scaled setup; pass ``REPRO_FULL_SCALE=1`` in the environment to run the
+full one.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigurationError
+from repro.experiments.paper_data import PAPER
+from repro.sim.encoder_loop import SimulationConfig
+from repro.video.ratecontrol import RateControlConfig
+
+
+def full_config(seed: int = 7, frames: int | None = None) -> SimulationConfig:
+    """The paper-scale configuration (section 3's setup)."""
+    return SimulationConfig(
+        period=PAPER.period,
+        buffer_capacity=1,
+        macroblocks=PAPER.macroblocks,
+        frames=frames,
+        seed=seed,
+        rate_control=RateControlConfig(bitrate=PAPER.bitrate, fps=PAPER.fps),
+    )
+
+
+def scaled_config(
+    scale: int = 4, seed: int = 7, frames: int | None = None
+) -> SimulationConfig:
+    """Paper setup divided by ``scale`` in resolution, period and bitrate.
+
+    The ratio of every quality level's load to the period is unchanged,
+    so the controller and the baselines operate at the same utilization
+    points as the full-scale run.
+    """
+    if scale < 1 or PAPER.macroblocks % scale != 0:
+        raise ConfigurationError(
+            f"scale must divide {PAPER.macroblocks} macroblocks, got {scale}"
+        )
+    return SimulationConfig(
+        period=PAPER.period / scale,
+        buffer_capacity=1,
+        macroblocks=PAPER.macroblocks // scale,
+        frames=frames,
+        seed=seed,
+        rate_control=RateControlConfig(bitrate=PAPER.bitrate / scale, fps=PAPER.fps),
+    )
+
+
+def tiny_config(seed: int = 7, frames: int = 60) -> SimulationConfig:
+    """A very small configuration for unit/integration tests."""
+    return scaled_config(scale=20, seed=seed, frames=frames)
+
+
+def benchmark_config(seed: int = 7) -> SimulationConfig:
+    """What the benches run: full scale if REPRO_FULL_SCALE=1, else /4."""
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        return full_config(seed=seed)
+    return scaled_config(scale=4, seed=seed)

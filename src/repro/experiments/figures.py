@@ -1,0 +1,107 @@
+"""Per-figure experiment functions.
+
+One function per data figure of the paper; each returns the two series
+the figure plots plus the runs behind them, so benches can assert the
+qualitative shape and render the ASCII chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.sim.encoder_loop import SimulationConfig
+from repro.sim.results import RunResult
+from repro.sim.runner import run_constant, run_controlled
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """A reproduced two-series figure."""
+
+    name: str
+    description: str
+    y_label: str
+    controlled: RunResult
+    baseline: RunResult
+    controlled_series: np.ndarray
+    baseline_series: np.ndarray
+
+    def series(self) -> dict[str, np.ndarray]:
+        return {
+            self.controlled.label: self.controlled_series,
+            self.baseline.label: self.baseline_series,
+        }
+
+
+def _budget_figure(name, description, config, baseline_quality, baseline_k) -> FigureData:
+    controlled = run_controlled(config)
+    baseline = run_constant(baseline_quality, replace(config, buffer_capacity=baseline_k))
+    return FigureData(
+        name=name,
+        description=description,
+        y_label="Mcycle",
+        controlled=controlled,
+        baseline=baseline,
+        controlled_series=controlled.encoding_times() / 1e6,
+        baseline_series=baseline.encoding_times() / 1e6,
+    )
+
+
+def _psnr_figure(name, description, config, baseline_quality, baseline_k) -> FigureData:
+    controlled = run_controlled(config)
+    baseline = run_constant(baseline_quality, replace(config, buffer_capacity=baseline_k))
+    return FigureData(
+        name=name,
+        description=description,
+        y_label="PSNR",
+        controlled=controlled,
+        baseline=baseline,
+        controlled_series=controlled.psnr_series(),
+        baseline_series=baseline.psnr_series(),
+    )
+
+
+def figure6_budget_vs_q3(config: SimulationConfig) -> FigureData:
+    """Fig. 6: encoding time per frame — controlled K=1 vs constant q=3 K=1."""
+    return _budget_figure(
+        "figure6",
+        "Time budget utilization: controlled quality (K=1) vs constant q=3 (K=1)",
+        config,
+        baseline_quality=3,
+        baseline_k=1,
+    )
+
+
+def figure7_budget_vs_q4(config: SimulationConfig) -> FigureData:
+    """Fig. 7: encoding time per frame — controlled K=1 vs constant q=4 K=2."""
+    return _budget_figure(
+        "figure7",
+        "Time budget utilization: controlled quality (K=1) vs constant q=4 (K=2)",
+        config,
+        baseline_quality=4,
+        baseline_k=2,
+    )
+
+
+def figure8_psnr_vs_q3(config: SimulationConfig) -> FigureData:
+    """Fig. 8: PSNR per frame — controlled K=1 vs constant q=3 K=1."""
+    return _psnr_figure(
+        "figure8",
+        "PSNR between input and output: controlled (K=1) vs constant q=3 (K=1)",
+        config,
+        baseline_quality=3,
+        baseline_k=1,
+    )
+
+
+def figure9_psnr_vs_q4(config: SimulationConfig) -> FigureData:
+    """Fig. 9: PSNR per frame — controlled K=1 vs constant q=4 K=2."""
+    return _psnr_figure(
+        "figure9",
+        "PSNR between input and output: controlled (K=1) vs constant q=4 (K=2)",
+        config,
+        baseline_quality=4,
+        baseline_k=2,
+    )

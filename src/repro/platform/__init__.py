@@ -1,0 +1,28 @@
+"""Execution-platform simulator.
+
+Substitute for the paper's eliXim-simulated XiRisc processor: a
+single-core, cycle-accounting platform on which actions execute
+atomically and actual execution times are drawn from bounded
+distributions (``mean ~ Cav_q``, ``max <= Cwc_q``), optionally modulated
+by content-dependent load.
+"""
+
+from repro.platform.clock import CycleClock, MEGA, cycles, mcycles
+from repro.platform.distributions import BoundedTimeDistribution, TimingModel
+from repro.platform.executor import StochasticExecutor
+from repro.platform.processor import CycleExecution, Processor
+from repro.platform.trace import ActionEvent, ExecutionTrace
+
+__all__ = [
+    "ActionEvent",
+    "BoundedTimeDistribution",
+    "CycleClock",
+    "CycleExecution",
+    "ExecutionTrace",
+    "MEGA",
+    "Processor",
+    "StochasticExecutor",
+    "TimingModel",
+    "cycles",
+    "mcycles",
+]

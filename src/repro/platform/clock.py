@@ -1,0 +1,61 @@
+"""Cycle arithmetic and the platform clock.
+
+The paper's time unit is one CPU cycle of an 8 GHz XiRisc; quantities in
+the evaluation are given in Mcycles (e.g. the frame period
+``P = 320 Mcycle``).  Times in this library are plain floats counting
+cycles; this module provides the unit helpers and a monotonic cycle
+counter ("a register counting the number of cycles elapsed", section 3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: One Mcycle (the unit of the paper's figures).
+MEGA: float = 1_000_000.0
+
+
+def mcycles(value: float) -> float:
+    """Convert Mcycles to cycles: ``mcycles(320) == 320e6``."""
+    return value * MEGA
+
+
+def cycles(value: float) -> float:
+    """Identity helper for readability when mixing units."""
+    return float(value)
+
+
+class CycleClock:
+    """A monotonic cycle counter.
+
+    The generated controller reads such a register at every action
+    boundary; the simulator advances it explicitly.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ConfigurationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current cycle count."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance by ``delta >= 0`` cycles; returns the new time."""
+        if delta < 0:
+            raise ConfigurationError(f"clock cannot go backwards (delta {delta})")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, instant: float) -> float:
+        """Advance to an absolute instant (no-op if already past it)."""
+        if instant > self._now:
+            self._now = instant
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ConfigurationError(f"clock cannot reset to negative time {start}")
+        self._now = float(start)

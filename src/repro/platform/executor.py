@@ -1,0 +1,87 @@
+"""Stochastic action executor.
+
+Bridges the controller (which decides *what* to run and at *which*
+quality) and the timing model (which decides *how long* it actually
+takes).  A load function can modulate per-action means to model
+content-dependent effort — e.g. motion activity driving
+``Motion_Estimate`` toward its worst case on action-movie content.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.platform.distributions import TimingModel
+
+#: ``load(action, index) -> scale`` — multiplicative mean modulation.
+LoadFunction = Callable[[str, int], float]
+
+
+class StochasticExecutor:
+    """Draws actual execution times for (action, quality) requests.
+
+    Parameters
+    ----------
+    timing_model:
+        Per-(action, quality) bounded distributions.
+    rng:
+        numpy Generator (seed it for reproducible runs).
+    load:
+        Optional mean modulation; defaults to constant 1.
+    """
+
+    def __init__(
+        self,
+        timing_model: TimingModel,
+        rng: np.random.Generator,
+        load: LoadFunction | None = None,
+    ) -> None:
+        self.timing_model = timing_model
+        self.rng = rng
+        self.load = load
+        self._executed = 0
+
+    @property
+    def executed_actions(self) -> int:
+        """How many action executions this executor has served."""
+        return self._executed
+
+    def execute(self, action: str, quality: int) -> float:
+        """Run one action; returns its actual duration in cycles."""
+        scale = self.load(action, self._executed) if self.load is not None else 1.0
+        duration = self.timing_model.sample(self.rng, action, quality, scale)
+        self._executed += 1
+        return duration
+
+    def __call__(self, action: str, quality: int) -> float:
+        """Alias so an executor can serve as a controller time source."""
+        return self.execute(action, quality)
+
+
+def fixed_fraction_executor(system, fraction: float):
+    """A deterministic executor: every action takes ``fraction * Cwc_q``.
+
+    Useful for adversarial tests (``fraction = 1`` is the worst case the
+    safety proof covers).
+    """
+
+    def source(action: str, quality: int) -> float:
+        return fraction * system.worst_times.time(action, quality)
+
+    return source
+
+
+def average_time_executor(system):
+    """A deterministic executor running exactly at the published averages."""
+
+    def source(action: str, quality: int) -> float:
+        return system.average_times.time(action, quality)
+
+    return source
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """The library-wide convention for reproducible generators."""
+    return np.random.default_rng(np.random.SeedSequence(seed))

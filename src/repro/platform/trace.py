@@ -1,0 +1,82 @@
+"""Execution traces.
+
+Records what actually happened on the platform: which action ran, at
+which quality, when, for how long, and against which deadline.  Used by
+the metrics module, the timing-analysis profiler (which estimates
+``Cav``/``Cwc`` tables back from traces), and the tests that check
+Proposition 2.1 on simulated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.sequences import INFINITY
+
+
+@dataclass(frozen=True)
+class ActionEvent:
+    """One atomic action execution."""
+
+    action: str
+    quality: int
+    start: float
+    duration: float
+    deadline: float = INFINITY
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def missed_deadline(self) -> bool:
+        return self.end > self.deadline
+
+
+@dataclass
+class ExecutionTrace:
+    """An append-only sequence of :class:`ActionEvent`."""
+
+    events: list[ActionEvent] = field(default_factory=list)
+
+    def record(self, event: ActionEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ActionEvent]:
+        return iter(self.events)
+
+    @property
+    def total_time(self) -> float:
+        """Busy time (sum of durations; the platform is single-core)."""
+        return sum(e.duration for e in self.events)
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock span from first start to last end."""
+        if not self.events:
+            return 0.0
+        return max(e.end for e in self.events) - min(e.start for e in self.events)
+
+    def misses(self) -> list[ActionEvent]:
+        """Events that completed after their deadline."""
+        return [e for e in self.events if e.missed_deadline]
+
+    def by_action(self, action: str) -> list[ActionEvent]:
+        return [e for e in self.events if e.action == action]
+
+    def durations_by_base_action(self) -> dict[str, list[float]]:
+        """Durations grouped by base action name (profiling view)."""
+        from repro.core.action import split_iterated_action
+
+        grouped: dict[str, list[float]] = {}
+        for event in self.events:
+            base, _ = split_iterated_action(event.action)
+            grouped.setdefault(base, []).append(event.duration)
+        return grouped
+
+    def quality_trace(self) -> list[int]:
+        return [e.quality for e in self.events]

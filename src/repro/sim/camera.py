@@ -1,0 +1,52 @@
+"""The camera: a strictly periodic frame source.
+
+"We consider a benchmark of 582 frames, consisting of 9 sequences
+produced by a camera every P = 320 Mcycle (i.e. constant framerate of
+25 frame/s)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PeriodicCamera:
+    """Frame ``f`` arrives at exactly ``f * period`` cycles."""
+
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"camera period must be positive, got {self.period}")
+
+    def arrival(self, frame_index: int) -> float:
+        """Arrival instant of a frame."""
+        if frame_index < 0:
+            raise ConfigurationError("frame index must be >= 0")
+        return frame_index * self.period
+
+    def arrivals(self, count: int) -> Iterator[tuple[int, float]]:
+        """Iterate ``(frame_index, arrival_time)`` for ``count`` frames."""
+        for f in range(count):
+            yield f, f * self.period
+
+    def frames_before(self, instant: float) -> int:
+        """How many frames have arrived strictly before ``instant``.
+
+        Arrivals sit at 0, P, 2P, ...; for ``instant = n*P`` exactly the
+        frame arriving *at* that instant is not counted, leaving ``n``.
+        Comparisons recompute ``n * period`` so that instants produced
+        by :meth:`arrival` resolve exactly despite float rounding.
+        """
+        if instant <= 0:
+            return 0
+        import math
+
+        candidate = math.floor(instant / self.period)
+        if candidate * self.period >= instant:
+            return candidate
+        return candidate + 1

@@ -1,0 +1,766 @@
+"""The encoder system simulation (Fig. 3): camera, buffers, encoder, controller.
+
+Timeline semantics (asserted by tests, derived from the paper's section 3):
+
+* frame ``f`` arrives at ``f * P``; an arrival finding ``K`` frames
+  waiting is skipped (dropped);
+* the encoder serves waiting frames FIFO; frame ``f`` starting at ``s``
+  receives the time budget ``arrival(f) + K*P - s`` — finish within it
+  and the input buffer can never overflow (max latency ``K*P``, average
+  budget ``P``, as stated in the paper);
+* the *controlled* encoder runs the table-driven QoS controller inside
+  the frame: at every macroblock's ``Motion_Estimate`` the maximal
+  quality satisfying ``Qual_Const`` at the current cycle count is
+  selected.  Decisions at the other actions would be no-ops (their
+  times are quality-independent — Fig. 5), so the simulation evaluates
+  the constraint only where it can change the outcome while still
+  charging instrumentation overhead at *every* action boundary;
+* the *constant-quality* encoder (industrial practice baseline) encodes
+  every frame at a fixed level, pays no instrumentation, and overruns
+  freely — overruns surface as buffer overflows, i.e. skips.
+
+Two-pass structure: the timing pass walks the cycle-accurate timeline
+(skips, budgets, per-macroblock qualities); the signal pass then walks
+frames in display order through rate control and the PSNR model.  Bits
+do not feed back into cycles, so the split is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.action import QualitySet
+from repro.core.policies import DecisionContext
+from repro.core.tables import ControllerTables
+from repro.core.timing import QualityTimeTable
+from repro.errors import ConfigurationError
+from repro.platform.distributions import BoundedTimeDistribution
+from repro.sim.camera import PeriodicCamera
+from repro.sim.results import FrameRecord, RunResult
+from repro.video.content import (
+    FrameContent,
+    MotionLoadModel,
+    generate_content,
+    macroblock_motion,
+)
+from repro.video.encoder_model import AnalyticEncoder
+from repro.video.pipeline import (
+    COMPRESS_ACTION,
+    ENCODER_QUALITY_LEVELS,
+    FIXED_ACTION_TIMES,
+    GRAB_ACTION,
+    MACROBLOCK_ACTIONS,
+    ME_ACTION,
+    MOTION_ESTIMATE_TIMES,
+    macroblock_application,
+)
+from repro.video.ratecontrol import RateControlConfig, VirtualBufferRateController
+from repro.video.rd_model import RateDistortionModel
+
+#: Actions executed after Motion_Estimate within a macroblock.
+_POST_ME_ACTIONS = tuple(
+    a for a in MACROBLOCK_ACTIONS if a not in (GRAB_ACTION, ME_ACTION)
+)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulated deployment.
+
+    Defaults reproduce the paper's operating point: ``P = 320 Mcycle``,
+    ``K = 1``, ``N = 1620`` macroblocks (PAL SD), 1.1 Mbit/s at 25 fps.
+    """
+
+    period: float = 320e6
+    buffer_capacity: int = 1
+    macroblocks: int = 1620
+    frames: int | None = None
+    seed: int = 42
+    decision_overhead: float = 200.0
+    floor_fraction: float = 0.2
+    concentration: float = 8.0
+    motion_spread: float = 0.08
+    compress_motion_slope: float = 0.5
+    rate_control: RateControlConfig = field(default_factory=RateControlConfig)
+    rd_model: RateDistortionModel = field(default_factory=RateDistortionModel)
+    load_model: MotionLoadModel = field(default_factory=MotionLoadModel)
+    bits_noise: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError("period must be positive")
+        if self.buffer_capacity < 1:
+            raise ConfigurationError("buffer capacity K must be >= 1")
+        if self.macroblocks < 1:
+            raise ConfigurationError("macroblocks N must be >= 1")
+        if self.decision_overhead < 0:
+            raise ConfigurationError("decision overhead must be >= 0")
+
+    @property
+    def frame_pixels(self) -> int:
+        """256 pixels per macroblock (16x16 luma blocks)."""
+        return 256 * self.macroblocks
+
+    @property
+    def nominal_budget(self) -> float:
+        """The budget when the encoder starts a frame on arrival: K*P."""
+        return self.buffer_capacity * self.period
+
+
+@dataclass(frozen=True)
+class FrameTiming:
+    """Timing-pass output for one encoded frame."""
+
+    cycles: float
+    qualities: object  # scalar int or per-macroblock list
+    controller_cycles: float
+    decisions: int
+    degraded: int
+    deliberate_skip: bool = False
+
+
+class EncoderSimulation:
+    """Simulates the full camera/buffer/encoder system on the benchmark.
+
+    Build once per configuration; each ``run_*`` method is an
+    independent, reproducible experiment (seeded off the config seed
+    and a per-run salt).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        contents: Sequence[FrameContent] | None = None,
+    ) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        if contents is None:
+            contents = generate_content(seed=self.config.seed)
+        if self.config.frames is not None:
+            contents = list(contents)[: self.config.frames]
+        self.contents: list[FrameContent] = list(contents)
+        self.quality_set: QualitySet = ENCODER_QUALITY_LEVELS
+        self._levels = list(self.quality_set)
+        self._build_timing()
+        self._build_controller_tables()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build_timing(self) -> None:
+        cfg = self.config
+        self._me_dists = {
+            q: BoundedTimeDistribution(
+                average=av,
+                ceiling=wc,
+                floor_fraction=cfg.floor_fraction,
+                concentration=cfg.concentration,
+            )
+            for q, (av, wc) in MOTION_ESTIMATE_TIMES.items()
+        }
+        self._fixed_dists = {
+            action: BoundedTimeDistribution(
+                average=av,
+                ceiling=wc,
+                floor_fraction=cfg.floor_fraction,
+                concentration=cfg.concentration,
+            )
+            for action, (av, wc) in FIXED_ACTION_TIMES.items()
+        }
+
+    def _inflated_application(self, average_times: QualityTimeTable | None = None):
+        """The application with instrumentation overhead folded into the
+        timing tables (every action's Cav/Cwc grows by the per-boundary
+        overhead), exactly as the paper's compiler accounts for its own
+        generated code — so the safety guarantee covers the instrumented
+        application.  ``average_times`` (raw, un-inflated) overrides the
+        published averages — the hook the learning controller uses.
+        """
+        cfg = self.config
+        overhead = cfg.decision_overhead
+        application = macroblock_application(cfg.macroblocks)
+        if average_times is not None:
+            application = replace(application, average_times=average_times)
+        if overhead > 0:
+            av_entries: dict[str, object] = {}
+            wc_entries: dict[str, object] = {}
+            base_av = application.average_times
+            base_wc = application.worst_times
+            for action in MACROBLOCK_ACTIONS:
+                av_entries[action] = {
+                    q: base_av.time(action, q) + overhead for q in self.quality_set
+                }
+                wc_entries[action] = {
+                    q: base_wc.time(action, q) + overhead for q in self.quality_set
+                }
+            application = replace(
+                application,
+                average_times=QualityTimeTable(self.quality_set, av_entries),
+                worst_times=QualityTimeTable(self.quality_set, wc_entries),
+            )
+        return application
+
+    def _build_controller_tables(self) -> None:
+        """Compile the controller: tables over the unfolded frame schedule."""
+        cfg = self.config
+        self.application = self._inflated_application()
+        self.system = self.application.system(budget=cfg.nominal_budget)
+        self.system.validate()
+        self.tables = ControllerTables.from_system(self.system)
+        self._me_positions = self.application.positions_of(ME_ACTION)
+        self._rows = {
+            "both": self.tables.combined_bound.tolist(),
+            "average": self.tables.average_bound.tolist(),
+            "worst": self.tables.worst_bound.tolist(),
+        }
+        # worst-case ceilings used to keep biased platforms inside the
+        # C <= Cwc contract (DESIGN.md: the method's only assumption)
+        self._grab_ceiling = FIXED_ACTION_TIMES[GRAB_ACTION][1]
+        self._post_ceiling = sum(
+            wc for action, (_, wc) in FIXED_ACTION_TIMES.items()
+            if action != GRAB_ACTION
+        )
+        self._me_ceilings = [MOTION_ESTIMATE_TIMES[q][1] for q in self._levels]
+
+    def _rng(self, salt: str) -> np.random.Generator:
+        digest = abs(hash((self.config.seed, salt))) % (2**31)
+        return np.random.default_rng(np.random.SeedSequence([self.config.seed, digest]))
+
+    # ------------------------------------------------------------------
+    # per-frame time draws
+    # ------------------------------------------------------------------
+
+    def _draw_frame_times(
+        self,
+        rng: np.random.Generator,
+        content: FrameContent,
+        quality: int | None,
+        bias: float = 1.0,
+    ) -> tuple[list, object, list]:
+        """Draw (grab, ME, post-ME-sum) actual times for one frame.
+
+        ``quality=None`` draws ME times for *all* levels (shape N x |Q|),
+        otherwise only the requested level.  I-frames perform no real
+        motion search: ME runs at its minimum-level cost whatever the
+        controller asks for (the contract ``C <= Cwc_theta`` still holds
+        since ``Cwc`` is non-decreasing in q).
+
+        ``bias`` models a systematically mis-calibrated platform (the
+        deployed silicon is slower/faster than the profiled one); biased
+        times are clipped at the worst-case ceilings so the safety
+        contract continues to hold — only the *average* estimates are
+        wrong, which is precisely the situation the paper's section-4
+        learning extension addresses.
+        """
+        cfg = self.config
+        count = cfg.macroblocks
+        mb_motion = macroblock_motion(
+            rng, content.motion_activity, count, cfg.motion_spread
+        )
+        scales = cfg.load_model.scales(mb_motion)
+        grab = self._fixed_dists[GRAB_ACTION].sample_many(rng, count)
+        post = np.zeros(count)
+        compress_scale = 0.8 + cfg.compress_motion_slope * mb_motion
+        for action in _POST_ME_ACTIONS:
+            action_scales = compress_scale if action == COMPRESS_ACTION else 1.0
+            post += self._fixed_dists[action].sample_many(rng, count, action_scales)
+        if content.is_iframe:
+            intra = self._me_dists[self.quality_set.qmin].sample_many(rng, count)
+            if quality is None:
+                me_array: np.ndarray = np.tile(intra[:, None], (1, len(self._levels)))
+            else:
+                me_array = intra
+        elif quality is None:
+            me_array = np.column_stack([
+                self._me_dists[q].sample_many(rng, count, scales)
+                for q in self._levels
+            ])
+        else:
+            me_array = self._me_dists[quality].sample_many(rng, count, scales)
+        if bias != 1.0:
+            grab = np.minimum(grab * bias, self._grab_ceiling)
+            post = np.minimum(post * bias, self._post_ceiling)
+            if me_array.ndim == 2:
+                me_array = np.minimum(me_array * bias, np.asarray(self._me_ceilings))
+            else:
+                ceiling = self._me_ceilings[
+                    self._levels.index(quality if quality is not None else 0)
+                ]
+                me_array = np.minimum(me_array * bias, ceiling)
+        return grab.tolist(), me_array.tolist(), post.tolist()
+
+    # ------------------------------------------------------------------
+    # per-frame encoders (timing pass)
+    # ------------------------------------------------------------------
+
+    def _encode_controlled_frame(
+        self,
+        rng: np.random.Generator,
+        content: FrameContent,
+        budget: float,
+        constraint_mode: str,
+        granularity: int,
+        policy=None,
+        bias: float = 1.0,
+    ) -> FrameTiming:
+        cfg = self.config
+        grab, me, post = self._draw_frame_times(rng, content, quality=None, bias=bias)
+        rows = self._rows[constraint_mode]
+        shift = budget - cfg.nominal_budget
+        overhead = cfg.decision_overhead
+        positions = self._me_positions
+        level_count = len(self._levels)
+        qmin_column = 0
+        if policy is not None:
+            reset = getattr(policy, "reset", None)
+            if callable(reset):
+                reset()
+
+        elapsed = 0.0
+        qualities: list[int] = []
+        degraded = 0
+        decisions = 0
+        current_column = qmin_column
+        previous_quality: int | None = None
+        for k in range(cfg.macroblocks):
+            elapsed += overhead + grab[k]
+            elapsed += overhead  # the boundary before Motion_Estimate
+            if k % granularity == 0:
+                if policy is None:
+                    column = -1
+                    for candidate in range(level_count - 1, -1, -1):
+                        if elapsed <= rows[positions[k]][candidate] + shift:
+                            column = candidate
+                            break
+                    if column < 0:
+                        column = qmin_column
+                        degraded += 1
+                else:
+                    row = rows[positions[k]]
+                    feasible = tuple(
+                        self._levels[c]
+                        for c in range(level_count)
+                        if elapsed <= row[c] + shift
+                    )
+                    if not feasible:
+                        column = qmin_column
+                        degraded += 1
+                    else:
+                        context = DecisionContext(
+                            step=positions[k],
+                            previous_quality=previous_quality,
+                            quality_set=self.quality_set,
+                        )
+                        column = self._levels.index(policy.select(feasible, context))
+                current_column = column
+                decisions += 1
+            quality = self._levels[current_column]
+            qualities.append(quality)
+            previous_quality = quality
+            elapsed += me[k][current_column]
+            elapsed += 7 * overhead + post[k]
+        controller_cycles = 9.0 * overhead * cfg.macroblocks
+        return FrameTiming(
+            cycles=elapsed,
+            qualities=qualities,
+            controller_cycles=controller_cycles,
+            decisions=decisions,
+            degraded=degraded,
+        )
+
+    def _encode_constant_frame(
+        self, rng: np.random.Generator, content: FrameContent, quality: int
+    ) -> FrameTiming:
+        grab, me, post = self._draw_frame_times(rng, content, quality=quality)
+        cycles = float(sum(grab) + sum(me) + sum(post))
+        return FrameTiming(
+            cycles=cycles,
+            qualities=quality,
+            controller_cycles=0.0,
+            decisions=0,
+            degraded=0,
+        )
+
+    # ------------------------------------------------------------------
+    # the timeline (timing pass) and signal pass
+    # ------------------------------------------------------------------
+
+    def _run_timeline(
+        self,
+        label: str,
+        encode_frame: Callable[[np.random.Generator, FrameContent, float], FrameTiming],
+        rng: np.random.Generator,
+        feedback: Callable[[FrameRecord], None] | None = None,
+    ) -> RunResult:
+        cfg = self.config
+        camera = PeriodicCamera(cfg.period)
+        horizon = cfg.buffer_capacity * cfg.period
+        pending: deque[int] = deque()
+        free_at = 0.0
+        partial: dict[int, FrameRecord] = {}
+
+        def start_pending_through(limit: float) -> None:
+            nonlocal free_at
+            while pending:
+                frame = pending[0]
+                start = max(free_at, camera.arrival(frame))
+                if start > limit:
+                    break
+                pending.popleft()
+                content = self.contents[frame]
+                budget = camera.arrival(frame) + horizon - start
+                timing = encode_frame(rng, content, budget)
+                free_at = start + timing.cycles
+                if timing.deliberate_skip:
+                    # skip-over style policies drop the instance themselves
+                    record = FrameRecord(
+                        index=frame,
+                        is_iframe=content.is_iframe,
+                        skipped=True,
+                        arrival=camera.arrival(frame),
+                        motion=content.motion_activity,
+                        start=start,
+                        end=free_at,
+                        budget=budget,
+                        encode_cycles=timing.cycles,
+                    )
+                else:
+                    qualities = np.atleast_1d(np.asarray(timing.qualities))
+                    churn = (
+                        float(np.mean(np.abs(np.diff(qualities))))
+                        if qualities.size > 1
+                        else 0.0
+                    )
+                    record = FrameRecord(
+                        index=frame,
+                        is_iframe=content.is_iframe,
+                        skipped=False,
+                        arrival=camera.arrival(frame),
+                        motion=content.motion_activity,
+                        start=start,
+                        end=free_at,
+                        budget=budget,
+                        encode_cycles=timing.cycles,
+                        controller_cycles=timing.controller_cycles,
+                        decisions=timing.decisions,
+                        degraded_steps=timing.degraded,
+                        mean_quality=float(np.mean(qualities)),
+                        min_quality=int(np.min(qualities)),
+                        max_quality=int(np.max(qualities)),
+                        quality_churn=churn,
+                    )
+                partial[frame] = record
+                if feedback is not None and not timing.deliberate_skip:
+                    feedback(record)
+
+        for frame in range(len(self.contents)):
+            arrival = camera.arrival(frame)
+            start_pending_through(arrival)
+            if len(pending) >= cfg.buffer_capacity:
+                content = self.contents[frame]
+                partial[frame] = FrameRecord(
+                    index=frame,
+                    is_iframe=content.is_iframe,
+                    skipped=True,
+                    arrival=arrival,
+                    motion=content.motion_activity,
+                )
+            else:
+                pending.append(frame)
+        start_pending_through(math.inf)
+
+        return self._signal_pass(label, partial)
+
+    def _signal_pass(self, label: str, partial: dict[int, FrameRecord]) -> RunResult:
+        cfg = self.config
+        encoder = AnalyticEncoder(
+            rd_model=cfg.rd_model,
+            rate_controller=VirtualBufferRateController(cfg.rate_control),
+            pixels=cfg.frame_pixels,
+            rng=self._rng("signal"),
+            bits_noise=cfg.bits_noise,
+        )
+        result = RunResult(
+            label=label, period=cfg.period, buffer_capacity=cfg.buffer_capacity
+        )
+        quality_by_frame = self._timing_qualities
+        for frame in range(len(self.contents)):
+            record = partial[frame]
+            content = self.contents[frame]
+            if record.skipped:
+                outcome = encoder.skip_frame(content)
+                record = replace(record, psnr=outcome.psnr, bits=outcome.bits)
+            else:
+                qualities = quality_by_frame.pop(frame)
+                outcome = encoder.encode_frame(content, qualities)
+                record = replace(record, psnr=outcome.psnr, bits=outcome.bits)
+            result.frames.append(record)
+        return result
+
+    # ------------------------------------------------------------------
+    # public run drivers
+    # ------------------------------------------------------------------
+
+    def run_controlled(
+        self,
+        constraint_mode: str = "both",
+        granularity: int = 1,
+        label: str | None = None,
+        time_bias: float = 1.0,
+    ) -> RunResult:
+        """The paper's controlled encoder.
+
+        ``granularity`` counts macroblocks between quality re-decisions
+        (1 = the paper's fine-grain control; ``macroblocks`` = decide
+        once per frame, emulating coarse-grain prior art).
+        ``time_bias`` deploys on a mis-calibrated platform (see
+        :meth:`_draw_frame_times`) while the controller keeps trusting
+        the published averages.
+        """
+        if constraint_mode not in self._rows:
+            raise ConfigurationError(f"unknown constraint mode {constraint_mode!r}")
+        if granularity < 1:
+            raise ConfigurationError("granularity must be >= 1")
+        if label is None:
+            label = f"controlled(K={self.config.buffer_capacity})"
+            if constraint_mode != "both":
+                label += f"[{constraint_mode}]"
+            if granularity != 1:
+                label += f"[g={granularity}]"
+            if time_bias != 1.0:
+                label += f"[bias={time_bias}]"
+        rng = self._rng(f"controlled-{constraint_mode}-{granularity}")
+        self._timing_qualities: dict[int, object] = {}
+
+        def encode(generator, content, budget):
+            timing = self._encode_controlled_frame(
+                generator, content, budget, constraint_mode, granularity,
+                bias=time_bias,
+            )
+            self._timing_qualities[content.index] = np.asarray(timing.qualities)
+            return timing
+
+        return self._run_timeline(label, encode, rng)
+
+    def run_learning_controlled(
+        self,
+        time_bias: float = 1.0,
+        relearn_every: int = 25,
+        alpha: float = 0.1,
+        label: str | None = None,
+        constraint_mode: str = "both",
+    ) -> RunResult:
+        """Controlled run with online average-time learning (paper §4).
+
+        "Application of learning techniques for better estimation of
+        the average execution times": an EWMA estimator observes actual
+        durations and the controller tables are regenerated from the
+        learned averages every ``relearn_every`` frames.  The
+        *worst-case* tables stay untouched, so Proposition 2.1's safety
+        guarantee is preserved no matter what the estimator does; what
+        learning buys is decision accuracy — fewer late in-frame
+        corrections when the platform's true means drift from the
+        profiled ones (``time_bias``).
+
+        Per-action observations: ME at its decided level; the grab and
+        the aggregated post-ME sum split equally across their actions —
+        with uniform cycle deadlines only suffix *sums* of averages
+        enter the constraints, so any sum-preserving split yields
+        identical tables.
+        """
+        from repro.tool.timing_analysis import EwmaAverageEstimator
+
+        if constraint_mode not in self._rows:
+            raise ConfigurationError(f"unknown constraint mode {constraint_mode!r}")
+        if relearn_every < 1:
+            raise ConfigurationError("relearn_every must be >= 1")
+        if label is None:
+            label = f"learning(K={self.config.buffer_capacity},bias={time_bias})"
+        raw_application = macroblock_application(self.config.macroblocks)
+        estimator = EwmaAverageEstimator(raw_application.average_times, alpha=alpha)
+        post_actions = _POST_ME_ACTIONS
+        state = {"frames_since_relearn": 0, "rows": self._rows[constraint_mode]}
+        rng = self._rng(f"learning-{constraint_mode}-{time_bias}")
+        self._timing_qualities = {}
+
+        def rebuild_rows():
+            learned_raw = estimator.learned_table(self.quality_set)
+            # clamp into the model's Cav <= Cwc invariant
+            entries: dict[str, dict[int, float]] = {}
+            for action in MACROBLOCK_ACTIONS:
+                entries[action] = {
+                    q: min(
+                        learned_raw.time(action, q),
+                        raw_application.worst_times.time(action, q),
+                    )
+                    for q in self.quality_set
+                }
+            learned = QualityTimeTable(self.quality_set, entries)
+            application = self._inflated_application(average_times=learned)
+            system = application.system(budget=self.config.nominal_budget)
+            tables = ControllerTables.from_system(system)
+            mode_matrix = {
+                "both": tables.combined_bound,
+                "average": tables.average_bound,
+                "worst": tables.worst_bound,
+            }[constraint_mode]
+            state["rows"] = mode_matrix.tolist()
+
+        def encode(generator, content, budget):
+            grab, me, post = self._draw_frame_times(
+                generator, content, quality=None, bias=time_bias
+            )
+            timing = self._decide_and_execute(
+                content, budget, constraint_mode, state["rows"], grab, me, post
+            )
+            # feed the estimator (skip the atypical intra frames); one
+            # frame-mean observation per action keeps the loop cheap,
+            # and quality-independent actions are credited at *every*
+            # level so all candidate-q table rows stay calibrated
+            if not content.is_iframe:
+                share = 1.0 / len(post_actions)
+                grab_mean = float(np.mean(grab))
+                post_share_mean = float(np.mean(post)) * share
+                for q in self._levels:
+                    estimator.observe(GRAB_ACTION, q, grab_mean)
+                    for action in post_actions:
+                        estimator.observe(action, q, post_share_mean)
+                q_array = np.asarray(timing.qualities)
+                me_matrix = np.asarray(me)
+                columns = np.array([self._levels.index(q) for q in timing.qualities])
+                chosen_times = me_matrix[np.arange(len(q_array)), columns]
+                for q in np.unique(q_array):
+                    mask = q_array == q
+                    estimator.observe(
+                        ME_ACTION, int(q), float(np.mean(chosen_times[mask]))
+                    )
+            state["frames_since_relearn"] += 1
+            if state["frames_since_relearn"] >= relearn_every:
+                state["frames_since_relearn"] = 0
+                rebuild_rows()
+            self._timing_qualities[content.index] = np.asarray(timing.qualities)
+            return timing
+
+        return self._run_timeline(label, encode, rng)
+
+    def _decide_and_execute(
+        self, content, budget, constraint_mode, rows, grab, me, post
+    ) -> FrameTiming:
+        """The fine-grain decision loop over pre-drawn times."""
+        cfg = self.config
+        shift = budget - cfg.nominal_budget
+        overhead = cfg.decision_overhead
+        positions = self._me_positions
+        level_count = len(self._levels)
+        elapsed = 0.0
+        qualities: list[int] = []
+        degraded = 0
+        for k in range(cfg.macroblocks):
+            elapsed += 2 * overhead + grab[k]
+            row = rows[positions[k]]
+            column = -1
+            for candidate in range(level_count - 1, -1, -1):
+                if elapsed <= row[candidate] + shift:
+                    column = candidate
+                    break
+            if column < 0:
+                column = 0
+                degraded += 1
+            qualities.append(self._levels[column])
+            elapsed += me[k][column]
+            elapsed += 7 * overhead + post[k]
+        return FrameTiming(
+            cycles=elapsed,
+            qualities=qualities,
+            controller_cycles=9.0 * overhead * cfg.macroblocks,
+            decisions=cfg.macroblocks,
+            degraded=degraded,
+        )
+
+    def run_controlled_with_policy(
+        self,
+        policy,
+        label: str,
+        constraint_mode: str = "both",
+        granularity: int = 1,
+    ) -> RunResult:
+        """Controlled run with a quality-selection policy (smoothness etc.).
+
+        The policy picks from the constraint-satisfying set at each
+        decision, so every policy inherits the safety guarantee.
+        """
+        if constraint_mode not in self._rows:
+            raise ConfigurationError(f"unknown constraint mode {constraint_mode!r}")
+        rng = self._rng(f"controlled-policy-{label}")
+        self._timing_qualities = {}
+
+        def encode(generator, content, budget):
+            timing = self._encode_controlled_frame(
+                generator, content, budget, constraint_mode, granularity,
+                policy=policy,
+            )
+            self._timing_qualities[content.index] = np.asarray(timing.qualities)
+            return timing
+
+        return self._run_timeline(label, encode, rng)
+
+    def run_constant(self, quality: int, label: str | None = None) -> RunResult:
+        """The industrial-practice baseline: a fixed quality level."""
+        if quality not in self.quality_set:
+            raise ConfigurationError(f"quality {quality} not in Q")
+        if label is None:
+            label = f"constant(q={quality},K={self.config.buffer_capacity})"
+        rng = self._rng(f"constant-{quality}")
+        self._timing_qualities = {}
+
+        def encode(generator, content, budget):
+            timing = self._encode_constant_frame(generator, content, quality)
+            self._timing_qualities[content.index] = quality
+            return timing
+
+        return self._run_timeline(label, encode, rng)
+
+    def run_frame_adaptive(self, policy, label: str) -> RunResult:
+        """Frame-level adaptive baselines (PID, elastic, skip-over...).
+
+        ``policy`` follows :class:`repro.baselines.base.FramePolicy`:
+        it proposes one quality level per frame from per-frame feedback —
+        the coarse-grain adaptation granularity of the prior art the
+        paper contrasts with.
+        """
+        rng = self._rng(f"adaptive-{label}")
+        self._timing_qualities = {}
+        from repro.baselines.skip_over import SKIP
+
+        def encode(generator, content, budget):
+            quality = int(policy.next_quality())
+            if quality == SKIP:
+                # the policy drops this instance: only the skip flag is
+                # written, costing (almost) nothing
+                return FrameTiming(
+                    cycles=1_000.0,
+                    qualities=self.quality_set.qmin,
+                    controller_cycles=0.0,
+                    decisions=1,
+                    degraded=0,
+                    deliberate_skip=True,
+                )
+            if quality not in self.quality_set:
+                quality = min(max(quality, self.quality_set.qmin), self.quality_set.qmax)
+            timing = self._encode_constant_frame(generator, content, quality)
+            self._timing_qualities[content.index] = quality
+            return timing
+
+        def feedback(record: FrameRecord) -> None:
+            policy.observe(
+                encode_cycles=record.encode_cycles,
+                budget=record.budget,
+                period=self.config.period,
+            )
+
+        return self._run_timeline(label, encode, rng, feedback=feedback)

@@ -1,0 +1,220 @@
+"""Per-frame records and whole-run results.
+
+One :class:`FrameRecord` per benchmark frame (encoded *or* skipped);
+:class:`RunResult` aggregates them into the quantities the paper plots:
+per-frame encoding time (Figs. 6/7), per-frame PSNR (Figs. 8/9), skip
+and deadline-miss counts, time-budget utilization, and quality
+smoothness statistics.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Everything measured about one frame of a run."""
+
+    index: int
+    is_iframe: bool
+    skipped: bool
+    arrival: float
+    motion: float
+    start: float = math.nan
+    end: float = math.nan
+    budget: float = math.nan
+    encode_cycles: float = math.nan
+    controller_cycles: float = 0.0
+    decisions: int = 0
+    degraded_steps: int = 0
+    mean_quality: float = math.nan
+    min_quality: int | None = None
+    max_quality: int | None = None
+    quality_churn: float = 0.0
+    psnr: float = math.nan
+    bits: float = math.nan
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion latency (nan for skipped frames)."""
+        if self.skipped or math.isnan(self.end):
+            return math.nan
+        return self.end - self.arrival
+
+    @property
+    def missed_budget(self) -> bool:
+        """Did encoding overrun the budget granted at start time?"""
+        if self.skipped or math.isnan(self.budget) or math.isnan(self.encode_cycles):
+            return False
+        return self.encode_cycles > self.budget
+
+
+@dataclass
+class RunResult:
+    """A complete simulated run over the benchmark."""
+
+    label: str
+    period: float
+    buffer_capacity: int
+    frames: list[FrameRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # counts
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def skip_count(self) -> int:
+        return sum(1 for f in self.frames if f.skipped)
+
+    @property
+    def encoded_count(self) -> int:
+        return sum(1 for f in self.frames if not f.skipped)
+
+    @property
+    def deadline_miss_count(self) -> int:
+        return sum(1 for f in self.frames if f.missed_budget)
+
+    @property
+    def degraded_step_count(self) -> int:
+        return sum(f.degraded_steps for f in self.frames)
+
+    def skipped_indices(self) -> list[int]:
+        return [f.index for f in self.frames if f.skipped]
+
+    # ------------------------------------------------------------------
+    # the paper's series
+    # ------------------------------------------------------------------
+
+    def encoding_times(self) -> np.ndarray:
+        """Per-frame encoding time in cycles (nan where skipped) — Figs. 6/7."""
+        return np.array(
+            [math.nan if f.skipped else f.encode_cycles for f in self.frames]
+        )
+
+    def psnr_series(self) -> np.ndarray:
+        """Per-frame PSNR including skip penalties — Figs. 8/9."""
+        return np.array([f.psnr for f in self.frames])
+
+    def utilization_series(self) -> np.ndarray:
+        """Encoding time over the period P (the paper's 'time budget
+        utilization' with the average budget P)."""
+        return self.encoding_times() / self.period
+
+    def quality_series(self) -> np.ndarray:
+        """Per-frame mean ME quality (nan where skipped)."""
+        return np.array([f.mean_quality for f in self.frames])
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+
+    def mean_psnr(self, include_skips: bool = True) -> float:
+        values = [
+            f.psnr for f in self.frames if include_skips or not f.skipped
+        ]
+        return float(np.mean(values)) if values else math.nan
+
+    def mean_utilization(self) -> float:
+        values = self.utilization_series()
+        return float(np.nanmean(values)) if len(values) else math.nan
+
+    def mean_quality(self) -> float:
+        values = [f.mean_quality for f in self.frames if not f.skipped]
+        return float(np.mean(values)) if values else math.nan
+
+    def max_latency(self) -> float:
+        values = [f.latency for f in self.frames if not math.isnan(f.latency)]
+        return float(max(values)) if values else math.nan
+
+    def quality_smoothness(self) -> float:
+        """Mean absolute quality change between consecutive encoded frames.
+
+        The paper's section 4 mentions conditions guaranteeing
+        smoothness of quality variations; this is the metric the
+        smoothness bench sweeps.
+        """
+        qualities = [f.mean_quality for f in self.frames if not f.skipped]
+        if len(qualities) < 2:
+            return 0.0
+        return float(np.mean(np.abs(np.diff(qualities))))
+
+    def mean_quality_churn(self) -> float:
+        """Mean within-frame quality churn (|delta q| between consecutive
+        macroblock decisions), averaged over encoded frames."""
+        values = [f.quality_churn for f in self.frames if not f.skipped]
+        return float(np.mean(values)) if values else 0.0
+
+    def total_controller_cycles(self) -> float:
+        return sum(f.controller_cycles for f in self.frames)
+
+    def controller_overhead_ratio(self) -> float:
+        """Controller cycles over total encoding cycles (<1.5 % claim)."""
+        total = sum(
+            f.encode_cycles for f in self.frames if not math.isnan(f.encode_cycles)
+        )
+        if total == 0:
+            return 0.0
+        return self.total_controller_cycles() / total
+
+    def frames_in(self, start: int, stop: int) -> list[FrameRecord]:
+        """Records with ``start <= index < stop`` (region analysis)."""
+        return [f for f in self.frames if start <= f.index < stop]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    CSV_FIELDS = (
+        "index", "is_iframe", "skipped", "arrival", "motion", "start", "end",
+        "budget", "encode_cycles", "controller_cycles", "decisions",
+        "degraded_steps", "mean_quality", "min_quality", "max_quality",
+        "quality_churn", "psnr", "bits",
+    )
+
+    def to_csv(self, path) -> None:
+        """Dump per-frame records for external plotting."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.CSV_FIELDS)
+            for f in self.frames:
+                writer.writerow([getattr(f, name) for name in self.CSV_FIELDS])
+
+    def summary(self) -> dict:
+        """Headline numbers for reports and assertions."""
+        return {
+            "label": self.label,
+            "frames": len(self.frames),
+            "encoded": self.encoded_count,
+            "skipped": self.skip_count,
+            "deadline_misses": self.deadline_miss_count,
+            "mean_psnr": round(self.mean_psnr(), 3),
+            "mean_psnr_encoded_only": round(self.mean_psnr(include_skips=False), 3),
+            "mean_utilization": round(self.mean_utilization(), 4),
+            "mean_quality": round(self.mean_quality(), 3),
+            "max_latency_cycles": self.max_latency(),
+            "quality_smoothness": round(self.quality_smoothness(), 4),
+            "controller_overhead": round(self.controller_overhead_ratio(), 5),
+        }
+
+
+def skip_regions(results: Iterable[RunResult], margin: int = 2) -> set[int]:
+    """Frame indices within ``margin`` of any skip in any of the runs.
+
+    Used to compare PSNR *outside* skip regions as the paper does
+    ("PSNR is higher for controlled quality ... except for regions where
+    frames are skipped").
+    """
+    region: set[int] = set()
+    for result in results:
+        for index in result.skipped_indices():
+            region.update(range(index - margin, index + margin + 1))
+    return region

@@ -1,0 +1,84 @@
+"""High-level experiment drivers.
+
+Thin, memoizing wrappers that build an :class:`EncoderSimulation` and
+execute the runs the figures need.  All benches and examples go through
+these entry points so results are consistent across the suite.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.sim.encoder_loop import EncoderSimulation, SimulationConfig
+from repro.sim.results import RunResult
+
+
+@lru_cache(maxsize=8)
+def _simulation(config: SimulationConfig) -> EncoderSimulation:
+    """Cache simulations per config: table construction is the setup cost."""
+    return EncoderSimulation(config)
+
+
+@lru_cache(maxsize=64)
+def _controlled_cached(
+    config: SimulationConfig, constraint_mode: str, granularity: int
+) -> RunResult:
+    return _simulation(config).run_controlled(
+        constraint_mode=constraint_mode, granularity=granularity
+    )
+
+
+@lru_cache(maxsize=64)
+def _constant_cached(config: SimulationConfig, quality: int) -> RunResult:
+    return _simulation(config).run_constant(quality)
+
+
+def run_controlled(
+    config: SimulationConfig | None = None,
+    constraint_mode: str = "both",
+    granularity: int = 1,
+) -> RunResult:
+    """Run the paper's controlled encoder over the benchmark.
+
+    Results are cached per (config, mode, granularity): runs are
+    deterministic given the config seed, and several figures share the
+    same controlled run.  Treat the returned object as read-only.
+    """
+    config = config if config is not None else SimulationConfig()
+    return _controlled_cached(config, constraint_mode, granularity)
+
+
+def run_constant(
+    quality: int, config: SimulationConfig | None = None
+) -> RunResult:
+    """Run the constant-quality baseline at one level (cached, read-only)."""
+    config = config if config is not None else SimulationConfig()
+    return _constant_cached(config, quality)
+
+
+def run_adaptive(
+    policy, label: str, config: SimulationConfig | None = None
+) -> RunResult:
+    """Run a frame-level adaptive baseline policy."""
+    simulation = _simulation(config if config is not None else SimulationConfig())
+    return simulation.run_frame_adaptive(policy, label)
+
+
+def run_paper_comparison(
+    config: SimulationConfig | None = None,
+) -> dict[str, RunResult]:
+    """The four runs behind Figs. 6-9.
+
+    * ``controlled`` — controlled quality, K = config.buffer_capacity (paper: 1)
+    * ``constant_q3`` — constant q=3, same K
+    * ``constant_q4_k2`` — constant q=4 with K=2 buffers
+    """
+    from dataclasses import replace
+
+    base = config if config is not None else SimulationConfig()
+    k2 = replace(base, buffer_capacity=2)
+    return {
+        "controlled": run_controlled(base),
+        "constant_q3": run_constant(3, base),
+        "constant_q4_k2": run_constant(4, k2),
+    }

@@ -1,0 +1,82 @@
+"""Dataflow analysis (the first box of Fig. 4).
+
+Extracts the controller-facing model from an application description:
+validates the precedence graph, checks the prototype tool's
+applicability condition (deadline order independent of quality),
+computes the EDF schedule, and reports structural facts the compiler
+and the overhead model consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.action import Action, split_iterated_action
+from repro.core.edf import edf_schedule
+from repro.core.system import ParameterizedSystem
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DataflowReport:
+    """What the tool learned about the application."""
+
+    actions: tuple[Action, ...]
+    schedule: tuple[Action, ...]
+    quality_sensitive_actions: tuple[Action, ...]
+    sources: tuple[Action, ...]
+    sinks: tuple[Action, ...]
+    critical_path_length: int
+    deadline_order_quality_independent: bool
+
+    @property
+    def parallelism(self) -> float:
+        """Actions over critical-path length (1.0 = a pure pipeline)."""
+        if self.critical_path_length == 0:
+            return 1.0
+        return len(self.actions) / self.critical_path_length
+
+
+def critical_path_length(graph) -> int:
+    """Longest chain in the DAG, in actions."""
+    lengths: dict[Action, int] = {}
+    for action in graph.topological_order():
+        predecessors = graph.predecessors(action)
+        lengths[action] = 1 + max((lengths[p] for p in predecessors), default=0)
+    return max(lengths.values(), default=0)
+
+
+def analyze_dataflow(system: ParameterizedSystem) -> DataflowReport:
+    """Run the tool's dataflow analysis over a parameterized system."""
+    graph = system.graph
+    independent = system.supports_precomputed_schedule()
+    schedule = tuple(edf_schedule(graph, system.deadline_at(system.qmin)))
+    sensitive = []
+    seen_bases: set[str] = set()
+    for action in graph.actions:
+        base, _ = split_iterated_action(action)
+        if base in seen_bases:
+            continue
+        seen_bases.add(base)
+        if system.average_times.depends_on_quality(action) or (
+            system.worst_times.depends_on_quality(action)
+        ):
+            sensitive.append(base)
+    return DataflowReport(
+        actions=graph.actions,
+        schedule=schedule,
+        quality_sensitive_actions=tuple(sensitive),
+        sources=graph.sources(),
+        sinks=graph.sinks(),
+        critical_path_length=critical_path_length(graph),
+        deadline_order_quality_independent=independent,
+    )
+
+
+def require_tool_applicability(system: ParameterizedSystem) -> None:
+    """Raise unless the prototype tool can handle this system."""
+    if not system.supports_precomputed_schedule():
+        raise ConfigurationError(
+            "prototype tool requires the order between deadlines to be "
+            "independent of the quality (section 3)"
+        )

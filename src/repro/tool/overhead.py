@@ -1,0 +1,131 @@
+"""Instrumentation overhead model (section 3's three measurements).
+
+"The overhead due to the instrumentation of the application software in
+the size of the compiled code is of the order of 2 % ... the
+corresponding overhead in memory allocation is not more than 1 % ...
+the overhead in runtime is estimated less than 1.5 % of the overall
+execution time."
+
+We cannot compile for XiRisc, so the three ratios are *modelled* from
+the same artifact sizes the paper measured (DESIGN.md section 2):
+
+* code size — generic controller code plus embedded schedule versus
+  the application's compiled size (LOC x bytes-per-LOC);
+* memory — the constraint tables (stored as int32 cycle counts) plus
+  controller state versus the application's working set;
+* runtime — cycles per decision x decisions per cycle versus the
+  average cycle workload.
+
+The bench asserts the modelled ratios land in the paper's (<=2 %,
+<=1 %, <1.5 %) band for the paper's encoder, and the simulation
+*measures* the runtime ratio independently from its cycle accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tables import ControllerTables
+
+#: Compiled-code density assumed for the C application (bytes per LOC).
+BYTES_PER_LOC = 36.0
+
+#: Size of the generic controller's code (a few hundred instructions).
+GENERIC_CONTROLLER_BYTES = 2_400.0
+
+#: Bytes of schedule representation per action (an index + a call slot).
+SCHEDULE_BYTES_PER_ACTION = 8.0
+
+#: Controller runtime state (cycle register copy, indices, current q).
+CONTROLLER_STATE_BYTES = 64.0
+
+#: Working-set estimate for the video encoder: reference + current frame
+#: and bitstream buffers for PAL SD (two luma+chroma frames ~1.2 MB plus
+#: code); used as the denominator of the memory ratio.
+APPLICATION_MEMORY_BYTES = 2_500_000.0
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """The three modelled overhead ratios plus their ingredients."""
+
+    code_bytes: float
+    application_code_bytes: float
+    memory_bytes: float
+    application_memory_bytes: float
+    decision_cycles_per_cycle: float
+    workload_cycles_per_cycle: float
+
+    @property
+    def code_ratio(self) -> float:
+        return self.code_bytes / self.application_code_bytes
+
+    @property
+    def memory_ratio(self) -> float:
+        return self.memory_bytes / self.application_memory_bytes
+
+    @property
+    def runtime_ratio(self) -> float:
+        if self.workload_cycles_per_cycle == 0:
+            return 0.0
+        return self.decision_cycles_per_cycle / self.workload_cycles_per_cycle
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "code_ratio": self.code_ratio,
+            "memory_ratio": self.memory_ratio,
+            "runtime_ratio": self.runtime_ratio,
+        }
+
+
+def estimate_overheads(
+    tables: ControllerTables,
+    application_loc: int,
+    decision_overhead_cycles: float,
+    system=None,
+    table_cell_bytes: int = 4,
+    body_length: int | None = None,
+) -> OverheadReport:
+    """Model the three overhead ratios for a compiled application.
+
+    When ``body_length`` is given (a cyclic application of that body
+    size), the table footprint uses the affine-compressed form the real
+    tool would embed — the schedule itself is likewise a loop, so the
+    schedule code does not grow with the iteration count.
+    """
+    schedule_length = len(tables.schedule)
+    compressed = None
+    if body_length is not None:
+        from repro.core.tables import CompressedPeriodicTables
+
+        compressed = CompressedPeriodicTables.from_tables(tables, body_length)
+    if compressed is not None:
+        code_bytes = (
+            GENERIC_CONTROLLER_BYTES + SCHEDULE_BYTES_PER_ACTION * body_length
+        )
+        table_bytes = compressed.memory_bytes(table_cell_bytes)
+    else:
+        code_bytes = (
+            GENERIC_CONTROLLER_BYTES + SCHEDULE_BYTES_PER_ACTION * schedule_length
+        )
+        table_bytes = tables.memory_bytes(table_cell_bytes)
+    application_code_bytes = application_loc * BYTES_PER_LOC
+    memory_bytes = table_bytes + CONTROLLER_STATE_BYTES
+
+    decision_cycles = decision_overhead_cycles * schedule_length
+    if system is not None:
+        # a representative operating point: mid-quality average load
+        mid_q = list(system.quality_set)[len(system.quality_set) // 2]
+        workload = sum(
+            system.average_times.time(action, mid_q) for action in tables.schedule
+        )
+    else:
+        workload = 0.0
+    return OverheadReport(
+        code_bytes=code_bytes,
+        application_code_bytes=application_code_bytes,
+        memory_bytes=memory_bytes,
+        application_memory_bytes=APPLICATION_MEMORY_BYTES,
+        decision_cycles_per_cycle=decision_cycles,
+        workload_cycles_per_cycle=workload,
+    )

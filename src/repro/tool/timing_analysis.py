@@ -1,0 +1,155 @@
+"""Timing analysis (the second box of Fig. 4).
+
+"We consider single threaded implementations ... on a platform for
+which it is possible by using timing analysis and profiling techniques,
+to compute estimates of worst-case execution times and average
+execution times of actions for the different levels of quality."
+
+Two estimators:
+
+* :class:`TimingProfile` / :func:`estimate_tables_from_profile` —
+  offline profiling: collect per-(action, quality) duration samples
+  from traces and derive ``Cav`` (sample mean) and ``Cwc`` (sample max
+  inflated by a safety margin).  Monotonicity in q is enforced by
+  running maxima, since finite samples of a monotone family may not be
+  sample-monotone.
+* :class:`EwmaAverageEstimator` — the paper's future-work item
+  ("application of learning techniques for better estimation of the
+  average execution times"): an online exponentially-weighted average
+  the controller can refresh between cycles.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.action import QualitySet, split_iterated_action
+from repro.core.timing import QualityTimeTable
+from repro.errors import ConfigurationError, TimingError
+from repro.platform.trace import ExecutionTrace
+
+
+@dataclass
+class TimingProfile:
+    """Accumulated duration samples per (base action, quality)."""
+
+    samples: dict[tuple[str, int], list[float]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    def add(self, action: str, quality: int, duration: float) -> None:
+        if duration < 0:
+            raise ConfigurationError("durations must be >= 0")
+        base, _ = split_iterated_action(action)
+        self.samples[(base, quality)].append(duration)
+
+    def add_trace(self, trace: ExecutionTrace) -> None:
+        for event in trace:
+            self.add(event.action, event.quality, event.duration)
+
+    def count(self, action: str, quality: int) -> int:
+        return len(self.samples.get((action, quality), ()))
+
+    def actions(self) -> list[str]:
+        return sorted({action for action, _ in self.samples})
+
+
+def estimate_tables_from_profile(
+    profile: TimingProfile,
+    quality_set: QualitySet,
+    wcet_margin: float = 1.2,
+) -> tuple[QualityTimeTable, QualityTimeTable]:
+    """Derive (Cav, Cwc) tables from profiled samples.
+
+    ``wcet_margin`` inflates the observed maximum — profiling can only
+    ever *under*-estimate a true WCET, so static-analysis practice adds
+    head-room.  Raises :class:`TimingError` if any (action, level) has
+    no samples: the tool cannot guess unobserved behaviour.
+    """
+    if wcet_margin < 1.0:
+        raise ConfigurationError("wcet_margin must be >= 1")
+    av_entries: dict[str, dict[int, float]] = {}
+    wc_entries: dict[str, dict[int, float]] = {}
+    for action in profile.actions():
+        av_levels: dict[int, float] = {}
+        wc_levels: dict[int, float] = {}
+        running_av = 0.0
+        running_wc = 0.0
+        for q in quality_set:
+            samples = profile.samples.get((action, q))
+            if not samples:
+                raise TimingError(
+                    f"no samples for action {action!r} at quality {q}: "
+                    "profile every level before generating tables"
+                )
+            mean = sum(samples) / len(samples)
+            worst = max(samples) * wcet_margin
+            # enforce the model's monotonicity on finite samples
+            running_av = max(running_av, mean)
+            running_wc = max(running_wc, worst, running_av)
+            av_levels[q] = running_av
+            wc_levels[q] = running_wc
+        av_entries[action] = av_levels
+        wc_entries[action] = wc_levels
+    average = QualityTimeTable(quality_set, av_entries)
+    worst = QualityTimeTable(quality_set, wc_entries)
+    QualityTimeTable.validate_bounds(average, worst)
+    return average, worst
+
+
+class EwmaAverageEstimator:
+    """Online average-execution-time learning (paper section 4).
+
+    Keeps one exponentially-weighted mean per (base action, quality).
+    ``estimate`` falls back to the prior (the static table) until
+    enough observations arrive.
+    """
+
+    def __init__(self, prior: QualityTimeTable, alpha: float = 0.05):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.prior = prior
+        self.alpha = alpha
+        self._means: dict[tuple[str, int], float] = {}
+        self._counts: dict[tuple[str, int], int] = {}
+
+    def observe(self, action: str, quality: int, duration: float) -> None:
+        if duration < 0:
+            raise ConfigurationError("durations must be >= 0")
+        base, _ = split_iterated_action(action)
+        key = (base, quality)
+        if key not in self._means:
+            self._means[key] = float(duration)
+            self._counts[key] = 1
+            return
+        self._means[key] += self.alpha * (duration - self._means[key])
+        self._counts[key] += 1
+
+    def estimate(self, action: str, quality: int) -> float:
+        base, _ = split_iterated_action(action)
+        value = self._means.get((base, quality))
+        if value is None:
+            return self.prior.time(action, quality)
+        return value
+
+    def observations(self, action: str, quality: int) -> int:
+        base, _ = split_iterated_action(action)
+        return self._counts.get((base, quality), 0)
+
+    def learned_table(self, quality_set: QualitySet) -> QualityTimeTable:
+        """Materialize the learned averages as a table.
+
+        Monotonicity in q is restored with running maxima (observation
+        noise can locally invert an otherwise monotone family).
+        """
+        entries: dict[str, dict[int, float]] = {}
+        bases = sorted({base for base, _ in self._means} | set(self.prior.actions()))
+        for base in bases:
+            running = 0.0
+            levels: dict[int, float] = {}
+            for q in quality_set:
+                running = max(running, self.estimate(base, q))
+                levels[q] = running
+            entries[base] = levels
+        return QualityTimeTable(quality_set, entries)

@@ -1,0 +1,78 @@
+"""Input/output frame buffers (Fig. 3 architecture).
+
+"It uses input and output buffers of the same size K, to cope with
+changes of load and avoid as much as possible frame skips.  These may
+happen when the input buffer is full."
+
+Semantics implemented (and asserted by tests):
+
+* the buffer holds frames that have *arrived but not started encoding*
+  (the frame being encoded occupies the encoder, not the buffer);
+* an arrival finding ``K`` frames waiting is dropped — that frame is
+  *skipped* and the decoder will redisplay its predecessor;
+* the maximal input latency for a frame that is not skipped is
+  ``K * P``: it waits behind at most ``K - 1`` others plus its own
+  encoding budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+@dataclass
+class FrameBuffer(Generic[T]):
+    """A bounded FIFO that drops (and counts) overflowing arrivals."""
+
+    capacity: int
+    _queue: deque = field(default_factory=deque, repr=False)
+    dropped: int = 0
+    accepted: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(f"buffer capacity must be >= 1, got {self.capacity}")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def try_push(self, item: T) -> bool:
+        """Accept an arrival, or drop it (returns False) when full."""
+        if self.full:
+            self.dropped += 1
+            return False
+        self._queue.append(item)
+        self.accepted += 1
+        return True
+
+    def peek(self) -> T:
+        if not self._queue:
+            raise ConfigurationError("cannot peek an empty buffer")
+        return self._queue[0]
+
+    def pop(self) -> T:
+        """Remove and return the oldest frame (starting its encoding)."""
+        if not self._queue:
+            raise ConfigurationError("cannot pop an empty buffer")
+        return self._queue.popleft()
+
+    def clear(self) -> None:
+        self._queue.clear()

@@ -1,0 +1,37 @@
+"""A real pixel-level toy codec.
+
+The analytic encoder (rate-distortion formulas) carries the 582-frame
+reproduction; this package demonstrates that the quality-level
+mechanism it models is real: a complete block-based encoder where the
+*quality level is the motion-search range* — exactly the knob the
+paper's ``Motion_Estimate`` action exposes.
+
+Pipeline per 16x16 macroblock: full-search motion estimation against
+the reference frame (range grows with q), residual 8x8 DCT, uniform
+quantization, bit-cost estimation, dequantization + inverse DCT +
+reconstruction.  I-frames skip prediction.
+
+Used by ``examples/pixel_codec_demo.py`` and the cross-validation tests
+in ``tests/video/test_pixel_codec.py``.
+"""
+
+from repro.video.pixel.bits import estimate_block_bits, estimate_frame_bits
+from repro.video.pixel.codec import EncodedFrame, ToyVideoCodec
+from repro.video.pixel.dct import blockwise_dct, blockwise_idct
+from repro.video.pixel.motion import SEARCH_RANGES, motion_compensate, motion_search
+from repro.video.pixel.quant import dequantize, quantize, step_for_quantizer
+
+__all__ = [
+    "EncodedFrame",
+    "SEARCH_RANGES",
+    "ToyVideoCodec",
+    "blockwise_dct",
+    "blockwise_idct",
+    "dequantize",
+    "estimate_block_bits",
+    "estimate_frame_bits",
+    "motion_compensate",
+    "motion_search",
+    "quantize",
+    "step_for_quantizer",
+]

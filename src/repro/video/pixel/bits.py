@@ -1,0 +1,45 @@
+"""Bit-cost estimation for quantized coefficients.
+
+A first-order entropy-coding proxy instead of a real arithmetic coder:
+each nonzero quantized level costs ~(2*log2(1+|level|) + 2) bits (sign,
+magnitude, run separator), each motion vector component ~log2(1+|v|)+1
+bits, plus a small per-block overhead.  Monotone in coefficient energy
+and in quantizer fineness — the properties rate control relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Per-8x8-block header cost (coded-block pattern share, escape codes).
+BLOCK_OVERHEAD_BITS = 2.0
+
+
+def estimate_block_bits(levels: np.ndarray) -> float:
+    """Bits to code one array of quantized levels."""
+    levels = np.asarray(levels)
+    magnitudes = np.abs(levels[levels != 0])
+    if magnitudes.size == 0:
+        return BLOCK_OVERHEAD_BITS
+    payload = float(np.sum(2.0 * np.log2(1.0 + magnitudes) + 2.0))
+    return BLOCK_OVERHEAD_BITS + payload
+
+
+def estimate_frame_bits(levels: np.ndarray, block: int = 8) -> float:
+    """Bits for a whole frame of quantized coefficients."""
+    height, width = levels.shape
+    if height % block or width % block:
+        raise ConfigurationError("levels shape must be a multiple of the block size")
+    total = 0.0
+    for y in range(0, height, block):
+        for x in range(0, width, block):
+            total += estimate_block_bits(levels[y : y + block, x : x + block])
+    return total
+
+
+def estimate_motion_bits(vectors: np.ndarray) -> float:
+    """Bits to code the motion field (differentially, roughly)."""
+    magnitudes = np.abs(np.asarray(vectors, dtype=np.float64))
+    return float(np.sum(np.log2(1.0 + magnitudes) + 1.0))

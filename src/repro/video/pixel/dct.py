@@ -1,0 +1,78 @@
+"""8x8 block DCT (the codec's transform stage).
+
+Type-II orthonormal DCT applied independently to every 8x8 block, as in
+MPEG-4 — implemented with scipy when available, with a small matrix
+fallback so the package stays importable without scipy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+BLOCK = 8
+
+try:  # scipy is in the test environment; the fallback keeps imports safe
+    from scipy.fft import dctn as _dctn, idctn as _idctn
+
+    def _dct2(block: np.ndarray) -> np.ndarray:
+        return _dctn(block, norm="ortho")
+
+    def _idct2(block: np.ndarray) -> np.ndarray:
+        return _idctn(block, norm="ortho")
+
+except ImportError:  # pragma: no cover - exercised only without scipy
+    def _dct_matrix(n: int = BLOCK) -> np.ndarray:
+        k = np.arange(n)[:, None]
+        i = np.arange(n)[None, :]
+        matrix = np.cos(np.pi * (2 * i + 1) * k / (2 * n))
+        matrix *= np.sqrt(2.0 / n)
+        matrix[0] /= np.sqrt(2.0)
+        return matrix
+
+    _DCT_M = _dct_matrix()
+
+    def _dct2(block: np.ndarray) -> np.ndarray:
+        return _DCT_M @ block @ _DCT_M.T
+
+    def _idct2(block: np.ndarray) -> np.ndarray:
+        return _DCT_M.T @ block @ _DCT_M
+
+
+def _as_blocks(frame: np.ndarray) -> np.ndarray:
+    """View an (H, W) frame as (H/8, W/8, 8, 8) blocks."""
+    height, width = frame.shape
+    if height % BLOCK or width % BLOCK:
+        raise ConfigurationError(
+            f"frame dimensions must be multiples of {BLOCK}, got {frame.shape}"
+        )
+    return (
+        frame.reshape(height // BLOCK, BLOCK, width // BLOCK, BLOCK)
+        .swapaxes(1, 2)
+    )
+
+
+def _from_blocks(blocks: np.ndarray) -> np.ndarray:
+    rows, cols, _, _ = blocks.shape
+    return blocks.swapaxes(1, 2).reshape(rows * BLOCK, cols * BLOCK)
+
+
+def blockwise_dct(frame: np.ndarray) -> np.ndarray:
+    """Forward 8x8 DCT over a whole frame (float64 output)."""
+    blocks = _as_blocks(np.asarray(frame, dtype=np.float64))
+    out = np.empty_like(blocks)
+    for r in range(blocks.shape[0]):
+        for c in range(blocks.shape[1]):
+            out[r, c] = _dct2(blocks[r, c])
+    return _from_blocks(out)
+
+
+def blockwise_idct(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 8x8 DCT over a whole frame of coefficients."""
+    blocks = _as_blocks(np.asarray(coefficients, dtype=np.float64))
+    out = np.empty_like(blocks)
+    for r in range(blocks.shape[0]):
+        for c in range(blocks.shape[1]):
+            out[r, c] = _idct2(blocks[r, c])
+    return _from_blocks(out)

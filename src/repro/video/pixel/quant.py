@@ -1,0 +1,28 @@
+"""Uniform quantization of DCT coefficients (the codec's rate knob)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def step_for_quantizer(quantizer: int) -> float:
+    """Map an MPEG-style quantizer parameter (1..31) to a step size."""
+    if not 1 <= quantizer <= 31:
+        raise ConfigurationError(f"quantizer must be in 1..31, got {quantizer}")
+    return 2.0 * quantizer
+
+
+def quantize(coefficients: np.ndarray, step: float) -> np.ndarray:
+    """Uniform mid-tread quantization to integer levels."""
+    if step <= 0:
+        raise ConfigurationError(f"quantization step must be positive, got {step}")
+    return np.round(np.asarray(coefficients, dtype=np.float64) / step).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, step: float) -> np.ndarray:
+    """Reconstruction: level * step."""
+    if step <= 0:
+        raise ConfigurationError(f"quantization step must be positive, got {step}")
+    return np.asarray(levels, dtype=np.float64) * step

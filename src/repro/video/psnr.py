@@ -1,0 +1,30 @@
+"""Pixel-domain PSNR (used by the pixel codec and its tests).
+
+The analytic encoder models PSNR; here it is *measured*:
+``PSNR = 10 log10(peak^2 / MSE)`` between two frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def mse(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Mean squared error between two equally-shaped frames."""
+    reference = np.asarray(reference, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if reference.shape != candidate.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {reference.shape} vs {candidate.shape}"
+        )
+    return float(np.mean((reference - candidate) ** 2))
+
+
+def psnr(reference: np.ndarray, candidate: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB; +inf for identical frames."""
+    error = mse(reference, candidate)
+    if error == 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / error))

@@ -1,0 +1,132 @@
+"""Analytic rate-distortion / PSNR model.
+
+The controller never looks at pixels — it sees times and deadlines —
+but the paper's Figs. 8/9 plot PSNR, so the encoder substitute must map
+(content, motion-estimation quality, allocated bits) to a PSNR value
+with the right monotonicities:
+
+* higher ME quality -> better motion compensation -> smaller residual
+  -> higher PSNR (saturating in q);
+* higher motion -> harder compensation -> lower PSNR and a stronger
+  dependence on q;
+* more bits -> higher PSNR (classic rate-distortion decay);
+* skipped frame -> the decoder redisplays the previous frame, so PSNR
+  against the input collapses (paper: "e.g. lower than 25"), the more
+  so the higher the motion.
+
+The functional forms are standard encoder-modelling fare:
+``MSE = residual_variance / (1 + (bpp/knee)^rho)`` with the residual
+variance shaped by a motion-compensation efficiency
+``eta(q, m) = (eta0 - eta_m * m) * s(q)``, ``s`` saturating in ``q``.
+Constants are calibrated to land in the paper's 30-44 dB band at the
+paper's 1.1 Mbit/s, 25 fps, PAL-SD operating point; the *shapes* are
+what the reproduction asserts (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.video.content import FrameContent
+
+
+@dataclass(frozen=True)
+class RateDistortionModel:
+    """PSNR model constants (see module docstring)."""
+
+    mc_efficiency_base: float = 0.95
+    mc_motion_penalty: float = 0.25
+    quality_saturation: float = 1.8
+    quality_floor: float = 0.8
+    intra_residual_fraction: float = 0.55
+    rate_knee_bpp: float = 0.04
+    rate_exponent: float = 1.5
+    skip_mse_base: float = 0.65
+    skip_mse_motion_slope: float = 1.5
+    peak: float = 255.0
+    min_psnr: float = 12.0
+    max_psnr: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mc_efficiency_base <= 1:
+            raise ConfigurationError("mc_efficiency_base must be in (0, 1]")
+        if self.rate_knee_bpp <= 0 or self.rate_exponent <= 0:
+            raise ConfigurationError("rate curve parameters must be positive")
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+
+    def quality_gain(self, quality) -> np.ndarray | float:
+        """``s(q) = 1 - floor * exp(-q / saturation)`` — saturating in q."""
+        q = np.asarray(quality, dtype=np.float64)
+        gain = 1.0 - self.quality_floor * np.exp(-q / self.quality_saturation)
+        return gain if gain.ndim else float(gain)
+
+    def mc_efficiency(self, quality, motion_activity: float) -> np.ndarray | float:
+        """``eta(q, m)`` — fraction of texture energy removed by MC."""
+        ceiling = self.mc_efficiency_base - self.mc_motion_penalty * motion_activity
+        return ceiling * self.quality_gain(quality)
+
+    def residual_variance(
+        self, content: FrameContent, qualities, intra: bool = False
+    ) -> float:
+        """Residual energy after prediction, averaged over macroblocks.
+
+        ``qualities`` is a scalar level or a per-macroblock array; the
+        intra path ignores it (no motion compensation on I-frames).
+        """
+        if intra or content.is_iframe:
+            return content.texture_variance * self.intra_residual_fraction
+        efficiency = self.mc_efficiency(qualities, content.motion_activity)
+        return float(content.texture_variance * np.mean(1.0 - efficiency))
+
+    def rate_factor(self, bits: float, pixels: int) -> float:
+        """Distortion shrink factor from spending ``bits`` on ``pixels``."""
+        if pixels <= 0:
+            raise ConfigurationError("pixels must be positive")
+        bpp = max(bits, 0.0) / pixels
+        return 1.0 + (bpp / self.rate_knee_bpp) ** self.rate_exponent
+
+    def _to_psnr(self, mse: float) -> float:
+        mse = max(mse, 1e-6)
+        psnr = 10.0 * np.log10(self.peak * self.peak / mse)
+        return float(np.clip(psnr, self.min_psnr, self.max_psnr))
+
+    # ------------------------------------------------------------------
+    # the three frame outcomes
+    # ------------------------------------------------------------------
+
+    def encoded_psnr(
+        self, content: FrameContent, qualities, bits: float, pixels: int
+    ) -> float:
+        """PSNR of a frame encoded with the given ME qualities and bits."""
+        variance = self.residual_variance(content, qualities)
+        mse = variance / self.rate_factor(bits, pixels)
+        return self._to_psnr(mse)
+
+    def skip_psnr(self, content: FrameContent) -> float:
+        """PSNR when the frame is skipped (previous frame redisplayed).
+
+        The error is the inter-frame difference itself; it grows with
+        motion.  Calibrated to fall below 25 dB as in the paper.
+        """
+        mse = content.texture_variance * (
+            self.skip_mse_base + self.skip_mse_motion_slope * content.motion_activity
+        )
+        return self._to_psnr(mse)
+
+    def quality_for_target_psnr(
+        self, content: FrameContent, bits: float, pixels: int, target_psnr: float
+    ) -> int | None:
+        """Smallest integer quality reaching ``target_psnr`` (None if none).
+
+        Convenience inverse used by examples and tests.
+        """
+        for q in range(0, 8):
+            if self.encoded_psnr(content, q, bits, pixels) >= target_psnr:
+                return q
+        return None

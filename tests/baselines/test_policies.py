@@ -1,0 +1,146 @@
+"""Tests for the baseline frame-level policies."""
+
+import pytest
+
+from repro.baselines import (
+    ConstantQualityPolicy,
+    ElasticQualityPolicy,
+    FrameFeedback,
+    PidFeedbackPolicy,
+    SkipOverPolicy,
+    static_wcet_quality,
+)
+from repro.baselines.skip_over import SKIP
+from repro.baselines.static_wcet import static_average_quality, utilization_at
+from repro.errors import ConfigurationError
+from repro.video.pipeline import macroblock_application
+
+
+class TestFrameFeedback:
+    def test_utilization_and_overrun(self):
+        feedback = FrameFeedback(encode_cycles=90.0, budget=100.0, period=100.0)
+        assert feedback.utilization == 0.9
+        assert not feedback.overran
+        assert FrameFeedback(110.0, 100.0, 100.0).overran
+
+
+class TestConstantQualityPolicy:
+    def test_never_changes(self):
+        policy = ConstantQualityPolicy(3)
+        policy.observe(1e9, 1.0, 1.0)
+        assert policy.next_quality() == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantQualityPolicy(-2)
+
+
+class TestPidFeedbackPolicy:
+    def test_underload_raises_quality(self):
+        policy = PidFeedbackPolicy(initial_quality=3)
+        for _ in range(5):
+            policy.observe(encode_cycles=30.0, budget=100.0, period=100.0)
+        assert policy.next_quality() > 3
+
+    def test_overload_lowers_quality(self):
+        policy = PidFeedbackPolicy(initial_quality=5)
+        for _ in range(5):
+            policy.observe(encode_cycles=150.0, budget=100.0, period=100.0)
+        assert policy.next_quality() < 5
+
+    def test_actuator_clamped(self):
+        policy = PidFeedbackPolicy(levels=8, initial_quality=7)
+        for _ in range(50):
+            policy.observe(encode_cycles=10.0, budget=100.0, period=100.0)
+        assert policy.next_quality() == 7
+        for _ in range(50):
+            policy.observe(encode_cycles=500.0, budget=100.0, period=100.0)
+        assert policy.next_quality() == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PidFeedbackPolicy(levels=0)
+        with pytest.raises(ConfigurationError):
+            PidFeedbackPolicy(set_point=0.0)
+
+
+class TestElasticQualityPolicy:
+    LOADS = [50.0, 80.0, 120.0, 200.0]  # WCET frame loads per level
+
+    def test_admission_picks_highest_fitting_level(self):
+        policy = ElasticQualityPolicy(self.LOADS, period=100.0)
+        assert policy.admissible_quality == 1
+        assert policy.next_quality() == 1
+
+    def test_compression_on_observed_overload(self):
+        policy = ElasticQualityPolicy(self.LOADS, period=100.0)
+        policy.observe(encode_cycles=150.0, budget=100.0, period=100.0)
+        assert policy.next_quality() == 0
+
+    def test_probe_up_after_calm_period_without_exceeding_admission(self):
+        policy = ElasticQualityPolicy(self.LOADS, period=100.0)
+        policy.observe(150.0, 100.0, 100.0)  # drop to 0
+        for _ in range(5):
+            policy.observe(30.0, 100.0, 100.0)
+        assert policy.next_quality() == 1  # back up, but never past admission
+        for _ in range(10):
+            policy.observe(30.0, 100.0, 100.0)
+        assert policy.next_quality() == 1
+
+    def test_infeasible_admission_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElasticQualityPolicy([200.0, 300.0], period=100.0)
+
+
+class TestSkipOverPolicy:
+    def test_skips_after_overrun(self):
+        policy = SkipOverPolicy(quality=4, skip_factor=2)
+        assert policy.next_quality() == 4
+        policy.observe(encode_cycles=150.0, budget=100.0, period=100.0)
+        assert policy.next_quality() == SKIP
+
+    def test_skip_distance_respected(self):
+        policy = SkipOverPolicy(quality=4, skip_factor=3)
+        policy.observe(150.0, 100.0, 100.0)
+        assert policy.next_quality() == SKIP  # allowed: long since last skip
+        policy.observe(150.0, 100.0, 100.0)
+        # only 1 frame since last skip < factor 3: encode despite overload
+        assert policy.next_quality() == 4
+        assert policy.next_quality() == 4
+        policy.observe(150.0, 100.0, 100.0)
+        assert policy.next_quality() == SKIP
+
+    def test_no_skip_without_overload(self):
+        policy = SkipOverPolicy(quality=4)
+        for _ in range(10):
+            policy.observe(50.0, 100.0, 100.0)
+            assert policy.next_quality() == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SkipOverPolicy(quality=-1)
+        with pytest.raises(ConfigurationError):
+            SkipOverPolicy(quality=3, skip_factor=1)
+
+
+class TestStaticDesignPoints:
+    def test_wcet_design_is_conservative(self):
+        app = macroblock_application(100)
+        budget = 320e6 * 100 / 1620
+        wcet_q = static_wcet_quality(app, budget)
+        av_q = static_average_quality(app, budget)
+        assert wcet_q < av_q
+        assert wcet_q == 0
+        assert av_q == 5
+
+    def test_utilization_at_design_points(self):
+        app = macroblock_application(100)
+        budget = 320e6 * 100 / 1620
+        # the WCET design point wastes most of the budget on average
+        assert utilization_at(app, 0, budget) < 0.45
+        assert utilization_at(app, 5, budget) > 0.9
+
+    def test_utilization_rejects_bad_budget(self):
+        app = macroblock_application(10)
+        with pytest.raises(ConfigurationError):
+            utilization_at(app, 1, 0.0)

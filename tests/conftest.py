@@ -1,0 +1,83 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DeadlineFunction,
+    ParameterizedSystem,
+    PrecedenceGraph,
+    QualityDeadlineTable,
+    QualitySet,
+    QualityTimeTable,
+)
+
+
+def build_system(
+    edges,
+    actions,
+    quality_count,
+    av_entries,
+    wc_entries,
+    budget,
+) -> ParameterizedSystem:
+    """Assemble a ParameterizedSystem with a uniform cycle deadline."""
+    graph = PrecedenceGraph.from_edges(edges, actions)
+    quality_set = QualitySet.from_range(quality_count)
+    average = QualityTimeTable(quality_set, av_entries)
+    worst = QualityTimeTable(quality_set, wc_entries)
+    deadlines = QualityDeadlineTable.quality_independent(
+        quality_set, DeadlineFunction.uniform(graph.actions, budget)
+    )
+    return ParameterizedSystem(graph, quality_set, average, worst, deadlines)
+
+
+@pytest.fixture
+def diamond_system() -> ParameterizedSystem:
+    """A 4-action diamond graph with 3 quality levels and integer times.
+
+    grab -> {transform, predict} -> emit; quality only affects transform
+    (mirroring the paper's Motion_Estimate being the only
+    quality-sensitive action).
+    """
+    return build_system(
+        edges=[("grab", "transform"), ("grab", "predict"),
+               ("transform", "emit"), ("predict", "emit")],
+        actions=["grab", "transform", "predict", "emit"],
+        quality_count=3,
+        av_entries={
+            "grab": 2.0,
+            "transform": [1.0, 4.0, 9.0],
+            "predict": 1.0,
+            "emit": 2.0,
+        },
+        wc_entries={
+            "grab": 4.0,
+            "transform": [2.0, 8.0, 20.0],
+            "predict": 2.0,
+            "emit": 3.0,
+        },
+        budget=30.0,
+    )
+
+
+@pytest.fixture
+def chain_system() -> ParameterizedSystem:
+    """A 3-action pipeline with 4 quality levels, all quality-sensitive."""
+    return build_system(
+        edges=[("a", "b"), ("b", "c")],
+        actions=["a", "b", "c"],
+        quality_count=4,
+        av_entries={
+            "a": [1.0, 2.0, 3.0, 5.0],
+            "b": [2.0, 3.0, 5.0, 8.0],
+            "c": [1.0, 1.0, 2.0, 2.0],
+        },
+        wc_entries={
+            "a": [2.0, 4.0, 6.0, 9.0],
+            "b": [3.0, 5.0, 9.0, 14.0],
+            "c": [2.0, 2.0, 4.0, 4.0],
+        },
+        budget=40.0,
+    )

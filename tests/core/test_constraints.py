@@ -1,0 +1,160 @@
+"""Tests for repro.core.constraints: Qual_Const_av / Qual_Const_wc.
+
+Hand-computed slacks on the chain system of conftest:
+    actions a -> b -> c, budget 40 (uniform deadline),
+    Cav: a=[1,2,3,5], b=[2,3,5,8], c=[1,1,2,2]
+    Cwc: a=[2,4,6,9], b=[3,5,9,14], c=[2,2,4,4]
+"""
+
+import pytest
+
+from repro.core.constraints import (
+    average_constraint_slack,
+    evaluate_constraints,
+    qual_const_av,
+    qual_const_wc,
+    worst_case_constraint_slack,
+)
+from repro.core.sequences import INFINITY
+from repro.core.timing import QualityAssignment
+
+
+SCHEDULE = ["a", "b", "c"]
+
+
+def assign_all(system, q):
+    return QualityAssignment.constant(system.graph.actions, q)
+
+
+class TestAverageConstraintSlack:
+    def test_full_suffix_at_q0(self, chain_system):
+        theta = assign_all(chain_system, 0)
+        # cumulative av: 1, 3, 4 -> slacks 39, 37, 36 -> min 36
+        slack = average_constraint_slack(
+            SCHEDULE, theta, chain_system.average_times, chain_system.deadlines, 0
+        )
+        assert slack == 36.0
+
+    def test_full_suffix_at_qmax(self, chain_system):
+        theta = assign_all(chain_system, 3)
+        # cumulative av: 5, 13, 15 -> slacks 35, 27, 25 -> min 25
+        slack = average_constraint_slack(
+            SCHEDULE, theta, chain_system.average_times, chain_system.deadlines, 0
+        )
+        assert slack == 25.0
+
+    def test_mid_cycle_suffix(self, chain_system):
+        theta = assign_all(chain_system, 3)
+        # suffix [b, c]: cumulative 8, 10 -> slacks 32, 30 -> min 30
+        slack = average_constraint_slack(
+            SCHEDULE, theta, chain_system.average_times, chain_system.deadlines, 1
+        )
+        assert slack == 30.0
+
+    def test_empty_suffix_is_infinite(self, chain_system):
+        theta = assign_all(chain_system, 0)
+        slack = average_constraint_slack(
+            SCHEDULE, theta, chain_system.average_times, chain_system.deadlines, 3
+        )
+        assert slack == INFINITY
+
+    def test_mixed_assignment_uses_per_action_quality(self, chain_system):
+        theta = QualityAssignment({"a": 3, "b": 0, "c": 1})
+        # cumulative: 5, 7, 8 -> slacks 35, 33, 32 -> min 32
+        slack = average_constraint_slack(
+            SCHEDULE, theta, chain_system.average_times, chain_system.deadlines, 0
+        )
+        assert slack == 32.0
+
+
+class TestWorstCaseConstraintSlack:
+    def test_next_action_at_q_then_landing_at_qmin(self, chain_system):
+        theta = assign_all(chain_system, 3)
+        # next a at q3 wc=9; then b,c at q0 wc 3,2
+        # cumulative: 9, 12, 14 -> slacks 31, 28, 26 -> min 26
+        slack = worst_case_constraint_slack(
+            SCHEDULE, theta, chain_system.worst_times, chain_system.deadlines, 0,
+            qmin=0,
+        )
+        assert slack == 26.0
+
+    def test_only_first_suffix_action_keeps_theta_quality(self, chain_system):
+        # theta assigns q3 to b but qmin path must be used for c
+        theta = QualityAssignment({"a": 0, "b": 3, "c": 3})
+        # suffix [b, c]: b at q3 wc=14, c at qmin wc=2
+        # cumulative: 14, 16 -> slacks 26, 24 -> min 24
+        slack = worst_case_constraint_slack(
+            SCHEDULE, theta, chain_system.worst_times, chain_system.deadlines, 1,
+            qmin=0,
+        )
+        assert slack == 24.0
+
+    def test_empty_suffix_is_infinite(self, chain_system):
+        theta = assign_all(chain_system, 0)
+        slack = worst_case_constraint_slack(
+            SCHEDULE, theta, chain_system.worst_times, chain_system.deadlines, 3,
+            qmin=0,
+        )
+        assert slack == INFINITY
+
+
+class TestPredicates:
+    def test_qual_const_av_threshold(self, chain_system):
+        theta = assign_all(chain_system, 3)
+        av = chain_system.average_times
+        dl = chain_system.deadlines
+        assert qual_const_av(SCHEDULE, theta, av, dl, elapsed=25.0, position=0)
+        assert not qual_const_av(SCHEDULE, theta, av, dl, elapsed=25.0001, position=0)
+
+    def test_qual_const_wc_threshold(self, chain_system):
+        theta = assign_all(chain_system, 3)
+        wc = chain_system.worst_times
+        dl = chain_system.deadlines
+        assert qual_const_wc(SCHEDULE, theta, wc, dl, elapsed=26.0, position=0, qmin=0)
+        assert not qual_const_wc(SCHEDULE, theta, wc, dl, elapsed=26.5, position=0, qmin=0)
+
+    def test_evaluate_constraints_combines_both(self, chain_system):
+        theta = assign_all(chain_system, 3)
+        ev = evaluate_constraints(
+            SCHEDULE,
+            theta,
+            chain_system.average_times,
+            chain_system.worst_times,
+            chain_system.deadlines,
+            0,
+            qmin=0,
+        )
+        assert ev.average_slack == 25.0
+        assert ev.worst_case_slack == 26.0
+        assert ev.combined_slack == 25.0
+
+    def test_satisfied_modes(self, chain_system):
+        theta = assign_all(chain_system, 3)
+        ev = evaluate_constraints(
+            SCHEDULE,
+            theta,
+            chain_system.average_times,
+            chain_system.worst_times,
+            chain_system.deadlines,
+            0,
+            qmin=0,
+        )
+        # t between the two slacks separates the modes
+        assert ev.satisfied(25.5, "worst")
+        assert not ev.satisfied(25.5, "average")
+        assert not ev.satisfied(25.5, "both")
+        assert ev.satisfied(25.0, "both")
+
+    def test_unknown_mode_rejected(self, chain_system):
+        theta = assign_all(chain_system, 0)
+        ev = evaluate_constraints(
+            SCHEDULE,
+            theta,
+            chain_system.average_times,
+            chain_system.worst_times,
+            chain_system.deadlines,
+            0,
+            qmin=0,
+        )
+        with pytest.raises(ValueError):
+            ev.satisfied(0.0, "hardest")

@@ -1,0 +1,160 @@
+"""Tests for repro.core.controller: the reference abstract algorithm."""
+
+import pytest
+
+from repro.core.controller import ReferenceController
+from repro.core.policies import FixedQualityPolicy
+from repro.core.sequences import cumulative
+from repro.errors import ConfigurationError, InfeasibleError, SequenceError
+
+
+class TestLifecycle:
+    def test_decide_then_record_advances_step(self, chain_system):
+        controller = ReferenceController(chain_system)
+        decision = controller.decide()
+        assert decision.step == 0
+        controller.record_completion(1.0)
+        assert controller.step == 1
+        assert controller.elapsed == 1.0
+
+    def test_double_decide_rejected(self, chain_system):
+        controller = ReferenceController(chain_system)
+        controller.decide()
+        with pytest.raises(SequenceError):
+            controller.decide()
+
+    def test_record_without_decision_rejected(self, chain_system):
+        controller = ReferenceController(chain_system)
+        with pytest.raises(SequenceError):
+            controller.record_completion(1.0)
+
+    def test_negative_actual_time_rejected(self, chain_system):
+        controller = ReferenceController(chain_system)
+        controller.decide()
+        with pytest.raises(ConfigurationError):
+            controller.record_completion(-1.0)
+
+    def test_decide_after_done_rejected(self, chain_system):
+        controller = ReferenceController(chain_system)
+        controller.run_cycle(lambda a, q: 0.0)
+        with pytest.raises(SequenceError):
+            controller.decide()
+
+    def test_start_cycle_resets(self, chain_system):
+        controller = ReferenceController(chain_system)
+        controller.run_cycle(lambda a, q: 1.0)
+        controller.start_cycle()
+        assert controller.step == 0
+        assert controller.elapsed == 0.0
+        assert not controller.done
+
+    def test_invalid_system_rejected_at_construction(self, chain_system):
+        tight = chain_system.with_uniform_deadline(1.0)  # qmin wc total is 7
+        with pytest.raises(InfeasibleError):
+            ReferenceController(tight)
+
+    def test_validation_can_be_skipped(self, chain_system):
+        tight = chain_system.with_uniform_deadline(1.0)
+        controller = ReferenceController(tight, validate=False)
+        decision = controller.decide()
+        assert decision.degraded  # no level satisfies the constraints
+        assert decision.quality == tight.qmin
+
+
+class TestDecisions:
+    def test_fast_execution_sustains_high_quality(self, chain_system):
+        # everything takes zero time -> qmax everywhere
+        controller = ReferenceController(chain_system)
+        result = controller.run_cycle(lambda a, q: 0.0)
+        assert result.qualities == (3, 3, 3)
+
+    def test_worst_case_execution_never_misses(self, chain_system):
+        controller = ReferenceController(chain_system)
+        result = controller.run_cycle(
+            lambda a, q: chain_system.worst_times.time(a, q)
+        )
+        budget = chain_system.deadlines.deadline("c", 0)
+        assert result.total_time <= budget
+        assert result.degraded_steps == 0
+
+    def test_quality_maximality(self, chain_system):
+        """Optimality: the chosen q satisfies Qual_Const and q+1 does not."""
+        controller = ReferenceController(chain_system)
+        while not controller.done:
+            t = controller.elapsed
+            decision = controller.decide()
+            chosen = decision.quality
+            assert chosen in decision.feasible_qualities
+            higher = [
+                q for q in chain_system.quality_set if q > chosen
+            ]
+            for q in higher:
+                assert q not in decision.feasible_qualities
+                assert not decision.evaluations[q].satisfied(t, "both")
+            controller.record_completion(
+                chain_system.worst_times.time(decision.action, chosen)
+            )
+
+    def test_schedule_is_valid_execution_sequence(self, diamond_system):
+        controller = ReferenceController(diamond_system)
+        result = controller.run_cycle(
+            lambda a, q: diamond_system.average_times.time(a, q)
+        )
+        assert diamond_system.graph.is_schedule(list(result.schedule))
+
+    def test_elapsed_time_equals_sum_of_actuals(self, diamond_system):
+        controller = ReferenceController(diamond_system)
+        actuals = []
+
+        def source(action, quality):
+            value = diamond_system.average_times.time(action, quality) * 0.5
+            actuals.append(value)
+            return value
+
+        result = controller.run_cycle(source)
+        assert result.total_time == pytest.approx(cumulative(actuals)[-1])
+
+    def test_degraded_flag_set_when_contract_broken(self, chain_system):
+        """Actual times exceeding Cwc (contract violation) degrade to qmin."""
+        controller = ReferenceController(chain_system)
+        # blow the entire budget on the first action
+        decision = controller.decide()
+        controller.record_completion(39.5)
+        decision = controller.decide()
+        assert decision.degraded
+        assert decision.quality == chain_system.qmin
+
+    def test_soft_mode_ignores_worst_case_constraint(self, chain_system):
+        hard = ReferenceController(chain_system, constraint_mode="both")
+        soft = ReferenceController(chain_system, constraint_mode="average")
+        d_hard = hard.decide()
+        d_soft = soft.decide()
+        # soft mode can only be at least as optimistic
+        assert d_soft.quality >= d_hard.quality
+        assert set(d_hard.feasible_qualities) <= set(d_soft.feasible_qualities)
+
+    def test_invalid_constraint_mode_rejected(self, chain_system):
+        with pytest.raises(ConfigurationError):
+            ReferenceController(chain_system, constraint_mode="bogus")
+
+    def test_policy_is_honored(self, chain_system):
+        controller = ReferenceController(chain_system, policy=FixedQualityPolicy(1))
+        result = controller.run_cycle(lambda a, q: 0.0)
+        assert result.qualities == (1, 1, 1)
+
+
+class TestSafetyProposition:
+    """Proposition 2.1 (safety) on a deterministic adversarial grid."""
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.3, 0.7, 1.0])
+    def test_no_deadline_miss_for_bounded_times(self, chain_system, fraction):
+        controller = ReferenceController(chain_system)
+        result = controller.run_cycle(
+            lambda a, q: fraction * chain_system.worst_times.time(a, q)
+        )
+        deadline_of = chain_system.deadlines.under(controller.assignment)
+        elapsed = 0.0
+        for action, quality in zip(result.schedule, result.qualities):
+            elapsed += fraction * chain_system.worst_times.time(action, quality)
+            assert elapsed <= deadline_of(action)
+        assert result.degraded_steps == 0

@@ -1,0 +1,102 @@
+"""Tests for repro.core.cycles: iterated-body (frame = N x macroblock) systems."""
+
+import pytest
+
+from repro.core import PrecedenceGraph, QualitySet, QualityTimeTable
+from repro.core.cycles import CyclicApplication
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def small_app() -> CyclicApplication:
+    body = PrecedenceGraph.chain(["grab", "process", "emit"])
+    qs = QualitySet.from_range(3)
+    av = QualityTimeTable(qs, {"grab": 2.0, "process": [3.0, 6.0, 12.0], "emit": 1.0})
+    wc = QualityTimeTable(qs, {"grab": 4.0, "process": [5.0, 10.0, 25.0], "emit": 2.0})
+    return CyclicApplication(
+        body=body, iterations=4, quality_set=qs, average_times=av, worst_times=wc
+    )
+
+
+class TestConstruction:
+    def test_actions_per_cycle(self, small_app):
+        assert small_app.actions_per_cycle == 12
+
+    def test_unfolded_graph_serializes_iterations(self, small_app):
+        graph = small_app.unfolded_graph()
+        assert len(graph) == 12
+        assert ("emit#0", "grab#1") in graph.edges
+
+    def test_nonpositive_iterations_rejected(self, small_app):
+        with pytest.raises(ConfigurationError):
+            CyclicApplication(
+                body=small_app.body,
+                iterations=0,
+                quality_set=small_app.quality_set,
+                average_times=small_app.average_times,
+                worst_times=small_app.worst_times,
+            )
+
+
+class TestLoads:
+    def test_average_cycle_load(self, small_app):
+        # per body at q0: 2 + 3 + 1 = 6; x4 iterations
+        assert small_app.average_cycle_load(0) == 24.0
+        assert small_app.average_cycle_load(2) == (2 + 12 + 1) * 4
+
+    def test_worst_cycle_load(self, small_app):
+        assert small_app.worst_cycle_load(0) == (4 + 5 + 2) * 4
+
+    def test_max_sustainable_quality_average(self, small_app):
+        # loads: q0=24, q1=36, q2=60
+        assert small_app.max_sustainable_quality(40.0) == 1
+        assert small_app.max_sustainable_quality(100.0) == 2
+
+    def test_max_sustainable_quality_worst_case(self, small_app):
+        # wc loads: q0=44, q1=64, q2=124
+        assert small_app.max_sustainable_quality(70.0, worst_case=True) == 1
+
+    def test_budget_below_minimum_raises(self, small_app):
+        with pytest.raises(ConfigurationError):
+            small_app.max_sustainable_quality(1.0)
+
+
+class TestSystemConstruction:
+    def test_uniform_pattern_deadline(self, small_app):
+        system = small_app.system(budget=100.0, pattern="uniform")
+        assert system.deadline_at(0)("grab#0") == 100.0
+        assert system.deadline_at(0)("emit#3") == 100.0
+
+    def test_linear_pattern_paces_iterations(self, small_app):
+        system = small_app.system(budget=100.0, pattern="linear", slack_fraction=0.0)
+        assert system.deadline_at(0)("emit#0") == 25.0
+        assert system.deadline_at(0)("emit#3") == 100.0
+
+    def test_unknown_pattern_rejected(self, small_app):
+        with pytest.raises(ConfigurationError):
+            small_app.system(budget=10.0, pattern="spiral")
+
+    def test_system_validates_when_budget_covers_qmin_worst(self, small_app):
+        system = small_app.system(budget=44.0)
+        assert system.is_valid()
+
+    def test_system_infeasible_when_budget_too_small(self, small_app):
+        system = small_app.system(budget=43.0)
+        assert not system.is_valid()
+
+    def test_timing_tables_resolve_unfolded_names(self, small_app):
+        system = small_app.system(budget=100.0)
+        assert system.average_times.time("process#2", 1) == 6.0
+
+
+class TestPositions:
+    def test_positions_of_body_action(self, small_app):
+        positions = small_app.positions_of("process")
+        graph = small_app.unfolded_graph()
+        assert [graph.actions[i] for i in positions] == [
+            "process#0", "process#1", "process#2", "process#3",
+        ]
+
+    def test_positions_match_schedule_vocabulary_order(self, small_app):
+        # vocabulary order is iteration-major: 3 actions per iteration
+        assert small_app.positions_of("grab") == [0, 3, 6, 9]

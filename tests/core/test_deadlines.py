@@ -1,0 +1,149 @@
+"""Tests for repro.core.deadlines."""
+
+import pytest
+
+from repro.core.action import QualitySet
+from repro.core.deadlines import (
+    DeadlineFunction,
+    QualityDeadlineTable,
+    linear_iteration_deadlines,
+)
+from repro.core.sequences import INFINITY
+from repro.core.timing import QualityAssignment
+from repro.errors import TimingError
+
+
+class TestDeadlineFunction:
+    def test_lookup_and_over(self):
+        d = DeadlineFunction({"a": 5.0, "b": 10.0})
+        assert d("a") == 5.0
+        assert d.over(["b", "a"]) == [10.0, 5.0]
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(TimingError):
+            DeadlineFunction({"a": -2.0})
+
+    def test_missing_action_raises_when_total(self):
+        d = DeadlineFunction({"a": 5.0})
+        with pytest.raises(TimingError):
+            d("b")
+
+    def test_missing_action_is_infinite_when_partial(self):
+        d = DeadlineFunction({"a": 5.0}, total=False)
+        assert d("b") == INFINITY
+
+    def test_base_name_fallback_for_unfolded_instances(self):
+        d = DeadlineFunction({"ME": 7.0})
+        assert d("ME#3") == 7.0
+
+    def test_shift_moves_finite_deadlines_only(self):
+        d = DeadlineFunction({"a": 5.0, "b": INFINITY})
+        s = d.shifted(3.0)
+        assert s("a") == 8.0
+        assert s("b") == INFINITY
+
+    def test_scale(self):
+        d = DeadlineFunction({"a": 5.0}).scaled(2.0)
+        assert d("a") == 10.0
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(TimingError):
+            DeadlineFunction({"a": 5.0}).scaled(0.0)
+
+    def test_uniform_builder(self):
+        d = DeadlineFunction.uniform(["a", "b"], 20.0)
+        assert d("a") == d("b") == 20.0
+
+    def test_unconstrained_builder(self):
+        d = DeadlineFunction.unconstrained(["a"])
+        assert d("a") == INFINITY
+
+
+class TestQualityDeadlineTable:
+    def test_quality_independent(self):
+        qs = QualitySet.from_range(3)
+        table = QualityDeadlineTable.quality_independent(
+            qs, DeadlineFunction({"a": 5.0})
+        )
+        assert table.deadline("a", 0) == table.deadline("a", 2) == 5.0
+
+    def test_missing_level_rejected(self):
+        qs = QualitySet.from_range(2)
+        with pytest.raises(TimingError):
+            QualityDeadlineTable(qs, {0: DeadlineFunction({"a": 1.0})})
+
+    def test_under_assignment(self):
+        qs = QualitySet.from_range(2)
+        table = QualityDeadlineTable(
+            qs,
+            {
+                0: DeadlineFunction({"a": 10.0}),
+                1: DeadlineFunction({"a": 8.0}),
+            },
+        )
+        theta = QualityAssignment({"a": 1})
+        assert table.under(theta)("a") == 8.0
+
+    def test_order_independence_detection_positive(self):
+        qs = QualitySet.from_range(2)
+        table = QualityDeadlineTable(
+            qs,
+            {
+                0: DeadlineFunction({"a": 1.0, "b": 2.0}),
+                1: DeadlineFunction({"a": 10.0, "b": 20.0}),
+            },
+        )
+        assert table.order_is_quality_independent(["a", "b"])
+
+    def test_order_independence_detection_negative(self):
+        qs = QualitySet.from_range(2)
+        table = QualityDeadlineTable(
+            qs,
+            {
+                0: DeadlineFunction({"a": 1.0, "b": 2.0}),
+                1: DeadlineFunction({"a": 20.0, "b": 10.0}),
+            },
+        )
+        assert not table.order_is_quality_independent(["a", "b"])
+
+    def test_shifted(self):
+        qs = QualitySet.from_range(1)
+        table = QualityDeadlineTable.quality_independent(
+            qs, DeadlineFunction({"a": 5.0})
+        ).shifted(2.0)
+        assert table.deadline("a", 0) == 7.0
+
+    def test_unknown_quality_raises(self):
+        qs = QualitySet.from_range(1)
+        table = QualityDeadlineTable.quality_independent(
+            qs, DeadlineFunction({"a": 5.0})
+        )
+        with pytest.raises(TimingError):
+            table.at_quality(3)
+
+
+class TestLinearIterationDeadlines:
+    def test_paces_iterations_evenly(self):
+        d = linear_iteration_deadlines(["x", "y"], iterations=4, cycle_budget=100.0)
+        assert d("x#0") == 25.0
+        assert d("y#1") == 50.0
+        assert d("x#3") == 100.0
+
+    def test_slack_fraction_relaxes_early_iterations(self):
+        d = linear_iteration_deadlines(
+            ["x"], iterations=2, cycle_budget=100.0, slack_fraction=0.2
+        )
+        assert d("x#0") == 70.0  # 50 + 20 slack
+        assert d("x#1") == 100.0  # last iteration keeps the hard budget
+
+    def test_last_iteration_never_exceeds_budget(self):
+        d = linear_iteration_deadlines(
+            ["x"], iterations=3, cycle_budget=90.0, slack_fraction=1.0
+        )
+        assert d("x#2") == 90.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(TimingError):
+            linear_iteration_deadlines(["x"], 0, 10.0)
+        with pytest.raises(TimingError):
+            linear_iteration_deadlines(["x"], 1, 10.0, slack_fraction=2.0)

@@ -1,0 +1,97 @@
+"""Tests for repro.core.edf: Best_Sched and EDF orders."""
+
+import pytest
+
+from repro.core.edf import best_sched, edf_schedule, is_edf_order
+from repro.core.precedence import PrecedenceGraph
+from repro.errors import SequenceError
+
+
+@pytest.fixture
+def fork() -> PrecedenceGraph:
+    # a -> {b, c}, both -> d
+    return PrecedenceGraph.from_edges(
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    )
+
+
+def deadline(mapping):
+    return mapping.__getitem__
+
+
+class TestEdfSchedule:
+    def test_orders_ready_actions_by_deadline(self, fork):
+        d = deadline({"a": 100.0, "b": 50.0, "c": 10.0, "d": 100.0})
+        assert edf_schedule(fork, d) == ["a", "c", "b", "d"]
+
+    def test_is_valid_schedule(self, fork):
+        d = deadline({"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0})
+        schedule = edf_schedule(fork, d)
+        assert fork.is_schedule(schedule)
+
+    def test_ties_broken_by_vocabulary_order(self, fork):
+        d = deadline({"a": 5.0, "b": 5.0, "c": 5.0, "d": 5.0})
+        assert edf_schedule(fork, d) == ["a", "b", "c", "d"]
+
+    def test_precedence_dominates_deadline(self):
+        # b has the earliest deadline but depends on a
+        g = PrecedenceGraph.chain(["a", "b"])
+        d = deadline({"a": 100.0, "b": 1.0})
+        assert edf_schedule(g, d) == ["a", "b"]
+
+
+class TestBestSched:
+    def test_preserves_executed_prefix(self, fork):
+        d = deadline({"a": 100.0, "b": 50.0, "c": 10.0, "d": 100.0})
+        # prefix [a, b] executed even though EDF would have run c first
+        result = best_sched(fork, ["a", "b", "c", "d"], d, prefix_length=2)
+        assert result[:2] == ["a", "b"]
+        assert set(result) == {"a", "b", "c", "d"}
+
+    def test_reorders_remaining_by_deadline(self, fork):
+        d = deadline({"a": 1.0, "b": 50.0, "c": 10.0, "d": 100.0})
+        result = best_sched(fork, ["a", "b", "c", "d"], d, prefix_length=1)
+        assert result == ["a", "c", "b", "d"]
+
+    def test_zero_prefix_equals_edf(self, fork):
+        d = deadline({"a": 1.0, "b": 9.0, "c": 2.0, "d": 10.0})
+        assert best_sched(fork, list(fork.actions), d, 0) == edf_schedule(fork, d)
+
+    def test_full_prefix_is_identity(self, fork):
+        d = deadline({"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0})
+        seq = ["a", "b", "c", "d"]
+        assert best_sched(fork, seq, d, 4) == seq
+
+    def test_invalid_prefix_rejected(self, fork):
+        d = deadline({"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0})
+        with pytest.raises(SequenceError):
+            best_sched(fork, ["b", "a", "c", "d"], d, prefix_length=1)
+
+    def test_prefix_length_out_of_range(self, fork):
+        d = deadline({"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0})
+        with pytest.raises(SequenceError):
+            best_sched(fork, ["a"], d, prefix_length=5)
+
+    def test_result_is_execution_sequence(self, fork):
+        d = deadline({"a": 3.0, "b": 2.0, "c": 1.0, "d": 0.5})
+        result = best_sched(fork, ["a", "c", "b", "d"], d, prefix_length=1)
+        fork.validate_execution_sequence(result)
+
+
+class TestIsEdfOrder:
+    def test_accepts_edf_order(self, fork):
+        d = deadline({"a": 100.0, "b": 50.0, "c": 10.0, "d": 100.0})
+        assert is_edf_order(fork, ["a", "c", "b", "d"], d)
+
+    def test_rejects_non_edf_order(self, fork):
+        d = deadline({"a": 100.0, "b": 50.0, "c": 10.0, "d": 100.0})
+        # valid execution sequence, but b runs while c (earlier deadline) ready
+        assert not is_edf_order(fork, ["a", "b", "c", "d"], d)
+
+    def test_rejects_non_schedule(self, fork):
+        d = deadline({"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0})
+        assert not is_edf_order(fork, ["a", "b"], d)
+
+    def test_edf_schedule_always_passes(self, fork):
+        d = deadline({"a": 9.0, "b": 1.0, "c": 5.0, "d": 2.0})
+        assert is_edf_order(fork, edf_schedule(fork, d), d)

@@ -1,0 +1,144 @@
+"""Tests for repro.core.fast_controller: table-driven controller.
+
+The central requirement: on identical inputs the table-driven controller
+takes exactly the decisions of the reference implementation (integer
+times keep float64 arithmetic exact).
+"""
+
+import pytest
+
+from repro.core.controller import ReferenceController
+from repro.core.fast_controller import TableDrivenController
+from repro.core.policies import HysteresisPolicy
+from repro.errors import ConfigurationError, SequenceError
+
+
+def lockstep_qualities(system, time_source):
+    """Run reference and fast controllers in lockstep; return traces."""
+    reference = ReferenceController(system)
+    fast = TableDrivenController(system)
+    ref_trace, fast_trace = [], []
+    while not reference.done:
+        d_ref = reference.decide()
+        d_fast = fast.decide()
+        assert d_ref.action == d_fast.action
+        ref_trace.append(d_ref.quality)
+        fast_trace.append(d_fast.quality)
+        actual = time_source(d_ref.action, d_ref.quality)
+        reference.record_completion(actual)
+        fast.record_completion(actual)
+    return ref_trace, fast_trace
+
+
+class TestEquivalenceWithReference:
+    def test_average_time_execution(self, chain_system):
+        ref, fast = lockstep_qualities(
+            chain_system, lambda a, q: chain_system.average_times.time(a, q)
+        )
+        assert ref == fast
+
+    def test_worst_case_execution(self, chain_system):
+        ref, fast = lockstep_qualities(
+            chain_system, lambda a, q: chain_system.worst_times.time(a, q)
+        )
+        assert ref == fast
+
+    def test_zero_time_execution(self, diamond_system):
+        ref, fast = lockstep_qualities(diamond_system, lambda a, q: 0.0)
+        assert ref == fast
+
+    def test_half_worst_case(self, diamond_system):
+        ref, fast = lockstep_qualities(
+            diamond_system,
+            lambda a, q: diamond_system.worst_times.time(a, q) / 2.0,
+        )
+        assert ref == fast
+
+
+class TestGranularity:
+    def test_granularity_one_redecides_every_step(self, chain_system):
+        controller = TableDrivenController(chain_system, granularity=1)
+        controller.run_cycle(lambda a, q: 1.0)
+        assert controller.decisions_made == 3
+
+    def test_coarse_granularity_decides_once(self, chain_system):
+        controller = TableDrivenController(chain_system, granularity=100)
+        controller.run_cycle(lambda a, q: 1.0)
+        assert controller.decisions_made == 1
+
+    def test_coarse_control_keeps_initial_quality(self, chain_system):
+        controller = TableDrivenController(chain_system, granularity=100)
+        result = controller.run_cycle(lambda a, q: 1.0)
+        assert len(set(result.qualities)) == 1
+
+    def test_fine_grain_can_react_where_coarse_cannot(self, chain_system):
+        """A slow first action forces a downgrade only fine grain sees."""
+
+        def slow_first(action, quality):
+            return 31.0 if action == "a" else chain_system.average_times.time(action, quality)
+
+        fine = TableDrivenController(chain_system, granularity=1)
+        fine_result = fine.run_cycle(slow_first)
+        coarse = TableDrivenController(chain_system, granularity=100)
+        coarse_result = coarse.run_cycle(slow_first)
+        # fine grain downgraded after the slow action; coarse kept its plan
+        assert fine_result.qualities[1] < coarse_result.qualities[1]
+
+    def test_invalid_granularity(self, chain_system):
+        with pytest.raises(ConfigurationError):
+            TableDrivenController(chain_system, granularity=0)
+
+
+class TestCycleShifts:
+    def test_positive_shift_raises_quality(self, chain_system):
+        nominal = TableDrivenController(chain_system)
+        shifted = TableDrivenController(chain_system)
+        source = lambda a, q: chain_system.average_times.time(a, q)
+        base = nominal.run_cycle(source, deadline_shift=0.0)
+        extra = shifted.run_cycle(source, deadline_shift=200.0)
+        assert min(extra.qualities) >= min(base.qualities)
+        assert extra.qualities[0] == chain_system.qmax
+
+    def test_negative_shift_lowers_quality(self, chain_system):
+        controller = TableDrivenController(chain_system)
+        source = lambda a, q: chain_system.average_times.time(a, q)
+        base = controller.run_cycle(source, deadline_shift=0.0)
+        tight = controller.run_cycle(source, deadline_shift=-20.0)
+        assert max(tight.qualities) <= max(base.qualities)
+
+    def test_extreme_negative_shift_degrades(self, chain_system):
+        controller = TableDrivenController(chain_system)
+        result = controller.run_cycle(lambda a, q: 1.0, deadline_shift=-1000.0)
+        assert result.degraded_steps > 0
+        assert set(result.qualities) == {chain_system.qmin}
+
+
+class TestLifecycle:
+    def test_reuse_across_cycles(self, chain_system):
+        controller = TableDrivenController(chain_system)
+        source = lambda a, q: chain_system.average_times.time(a, q)
+        first = controller.run_cycle(source)
+        second = controller.run_cycle(source)
+        assert first.qualities == second.qualities
+
+    def test_protocol_violations_raise(self, chain_system):
+        controller = TableDrivenController(chain_system)
+        with pytest.raises(SequenceError):
+            controller.record_completion(1.0)
+        controller.decide()
+        with pytest.raises(SequenceError):
+            controller.decide()
+
+    def test_stateful_policy_reset_between_cycles(self, chain_system):
+        policy = HysteresisPolicy(patience=2)
+        controller = TableDrivenController(chain_system, policy=policy)
+        source = lambda a, q: chain_system.average_times.time(a, q)
+        first = controller.run_cycle(source)
+        second = controller.run_cycle(source)
+        assert first.qualities == second.qualities
+
+    def test_peek_does_not_mutate(self, chain_system):
+        controller = TableDrivenController(chain_system)
+        before = controller.step
+        controller.peek_max_quality(0, 0.0)
+        assert controller.step == before

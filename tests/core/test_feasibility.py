@@ -1,0 +1,91 @@
+"""Tests for repro.core.feasibility: Definition 2.2."""
+
+from repro.core.feasibility import (
+    check_feasibility,
+    is_feasible_schedule,
+    slack_sequence,
+    worst_slack,
+)
+from repro.core.precedence import PrecedenceGraph
+from repro.core.sequences import INFINITY
+
+
+def times(mapping):
+    return mapping.__getitem__
+
+
+class TestCheckFeasibility:
+    def test_feasible_when_all_slacks_nonnegative(self):
+        report = check_feasibility(
+            ["a", "b"], times({"a": 2.0, "b": 3.0}), times({"a": 2.0, "b": 5.0})
+        )
+        assert report.feasible
+        assert report.worst_slack == 0.0
+        assert report.completion_times == (2.0, 5.0)
+        assert report.first_violation is None
+
+    def test_infeasible_reports_first_violation(self):
+        report = check_feasibility(
+            ["a", "b", "c"],
+            times({"a": 4.0, "b": 1.0, "c": 1.0}),
+            times({"a": 3.0, "b": 10.0, "c": 10.0}),
+        )
+        assert not report.feasible
+        assert report.first_violation == 0
+        assert report.worst_slack == -1.0
+
+    def test_start_time_offsets_completions(self):
+        report = check_feasibility(
+            ["a"], times({"a": 2.0}), times({"a": 5.0}), start_time=4.0
+        )
+        assert not report.feasible  # 4 + 2 = 6 > 5
+
+    def test_empty_sequence_is_feasible(self):
+        report = check_feasibility([], times({}), times({}))
+        assert report.feasible
+        assert report.worst_slack == INFINITY
+
+    def test_infinite_deadline_always_met(self):
+        report = check_feasibility(
+            ["a"], times({"a": 1e12}), times({"a": INFINITY})
+        )
+        assert report.feasible
+
+
+class TestSlackHelpers:
+    def test_slack_sequence_matches_definition(self):
+        slacks = slack_sequence(
+            ["a", "b"], times({"a": 1.0, "b": 2.0}), times({"a": 4.0, "b": 4.0})
+        )
+        # completions 1, 3; deadlines 4, 4
+        assert slacks == [3.0, 1.0]
+
+    def test_worst_slack(self):
+        assert (
+            worst_slack(["a", "b"], times({"a": 1.0, "b": 2.0}), times({"a": 4.0, "b": 4.0}))
+            == 1.0
+        )
+
+    def test_worst_slack_empty_is_infinite(self):
+        assert worst_slack([], times({}), times({})) == INFINITY
+
+
+class TestIsFeasibleSchedule:
+    def test_requires_full_schedule(self):
+        g = PrecedenceGraph.chain(["a", "b"])
+        t = times({"a": 1.0, "b": 1.0})
+        d = times({"a": 10.0, "b": 10.0})
+        assert is_feasible_schedule(g, ["a", "b"], t, d)
+        assert not is_feasible_schedule(g, ["a"], t, d)  # not all actions
+
+    def test_requires_precedence_compatibility(self):
+        g = PrecedenceGraph.chain(["a", "b"])
+        t = times({"a": 1.0, "b": 1.0})
+        d = times({"a": 10.0, "b": 10.0})
+        assert not is_feasible_schedule(g, ["b", "a"], t, d)
+
+    def test_deadline_violation_detected(self):
+        g = PrecedenceGraph.chain(["a", "b"])
+        t = times({"a": 6.0, "b": 6.0})
+        d = times({"a": 10.0, "b": 10.0})
+        assert not is_feasible_schedule(g, ["a", "b"], t, d)

@@ -1,0 +1,109 @@
+"""Tests for repro.core.policies: quality-manager selection strategies."""
+
+import pytest
+
+from repro.core.action import QualitySet
+from repro.core.policies import (
+    BoundedStepPolicy,
+    DecisionContext,
+    FixedQualityPolicy,
+    HysteresisPolicy,
+    MaximalQualityPolicy,
+)
+from repro.errors import ConfigurationError
+
+
+def ctx(previous=None, levels=8, step=0):
+    return DecisionContext(
+        step=step, previous_quality=previous, quality_set=QualitySet.from_range(levels)
+    )
+
+
+class TestMaximalQualityPolicy:
+    def test_picks_max(self):
+        assert MaximalQualityPolicy().select((0, 1, 2, 5), ctx()) == 5
+
+    def test_single_option(self):
+        assert MaximalQualityPolicy().select((0,), ctx()) == 0
+
+
+class TestBoundedStepPolicy:
+    def test_first_decision_unbounded(self):
+        assert BoundedStepPolicy(1).select((0, 1, 2, 3), ctx(previous=None)) == 3
+
+    def test_upgrade_limited_to_band(self):
+        policy = BoundedStepPolicy(1)
+        assert policy.select((0, 1, 2, 3, 4), ctx(previous=1)) == 2
+
+    def test_wider_band_allows_bigger_jump(self):
+        policy = BoundedStepPolicy(3)
+        assert policy.select((0, 1, 2, 3, 4), ctx(previous=1)) == 4
+
+    def test_forced_drop_below_band_takes_closest(self):
+        policy = BoundedStepPolicy(1)
+        # previous 5, band [4,6], but only 0..2 feasible -> take 2
+        assert policy.select((0, 1, 2), ctx(previous=5)) == 2
+
+    def test_stays_within_band_downwards(self):
+        policy = BoundedStepPolicy(1)
+        # previous 3, feasible up to 2: within band (2 >= 3-1)
+        assert policy.select((0, 1, 2), ctx(previous=3)) == 2
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundedStepPolicy(0)
+
+    def test_non_contiguous_quality_set_uses_ranks(self):
+        context = DecisionContext(
+            step=0, previous_quality=4, quality_set=QualitySet((0, 4, 9))
+        )
+        # rank(4)=1, max_step=1 allows rank 2 -> level 9
+        assert BoundedStepPolicy(1).select((0, 4, 9), context) == 9
+
+
+class TestHysteresisPolicy:
+    def test_downgrade_is_immediate(self):
+        policy = HysteresisPolicy(patience=3)
+        policy.select((0, 1, 2, 3), ctx(previous=None))
+        assert policy.select((0, 1), ctx(previous=3)) == 1
+
+    def test_upgrade_requires_patience(self):
+        policy = HysteresisPolicy(patience=2)
+        # previous 2; 5 feasible but debounced once
+        first = policy.select((0, 1, 2, 3, 4, 5), ctx(previous=2))
+        assert first == 2
+        second = policy.select((0, 1, 2, 3, 4, 5), ctx(previous=2))
+        assert second == 5
+
+    def test_interrupted_upgrade_resets_counter(self):
+        policy = HysteresisPolicy(patience=2)
+        policy.select((0, 1, 2, 3), ctx(previous=1))      # pending upgrade to 3
+        policy.select((0, 1), ctx(previous=1))            # drop kills pending
+        assert policy.select((0, 1, 2, 3), ctx(previous=1)) == 1  # debounce restarts
+
+    def test_hold_when_previous_infeasible_but_no_upgrade(self):
+        policy = HysteresisPolicy(patience=5)
+        # previous 3 not feasible anymore, best is 2 -> go down to 2
+        assert policy.select((0, 1, 2), ctx(previous=3)) == 2
+
+    def test_reset_clears_state(self):
+        policy = HysteresisPolicy(patience=2)
+        policy.select((0, 5), ctx(previous=0))
+        policy.reset()
+        # counter restarted: still debounced
+        assert policy.select((0, 5), ctx(previous=0)) == 0
+
+    def test_invalid_patience(self):
+        with pytest.raises(ConfigurationError):
+            HysteresisPolicy(0)
+
+
+class TestFixedQualityPolicy:
+    def test_exact_level_when_feasible(self):
+        assert FixedQualityPolicy(3).select((0, 1, 2, 3, 4), ctx()) == 3
+
+    def test_clamps_down_when_infeasible(self):
+        assert FixedQualityPolicy(5).select((0, 1, 2), ctx()) == 2
+
+    def test_takes_minimum_when_nothing_lower(self):
+        assert FixedQualityPolicy(0).select((2, 3), ctx()) == 2

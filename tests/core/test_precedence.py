@@ -1,0 +1,146 @@
+"""Tests for repro.core.precedence: DAG validation, traversals, unfolding."""
+
+import pytest
+
+from repro.core.precedence import PrecedenceGraph
+from repro.errors import GraphError, SequenceError
+
+
+@pytest.fixture
+def diamond() -> PrecedenceGraph:
+    return PrecedenceGraph.from_edges(
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    )
+
+
+class TestConstruction:
+    def test_from_edges_infers_vocabulary_in_first_seen_order(self):
+        g = PrecedenceGraph.from_edges([("x", "y"), ("x", "z")])
+        assert g.actions == ("x", "y", "z")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GraphError):
+            PrecedenceGraph.from_edges([("a", "b"), ("b", "a")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            PrecedenceGraph.from_edges([("a", "a")])
+
+    def test_edge_to_unknown_action_rejected(self):
+        with pytest.raises(GraphError):
+            PrecedenceGraph(("a",), frozenset({("a", "ghost")}))
+
+    def test_duplicate_actions_rejected(self):
+        with pytest.raises(GraphError):
+            PrecedenceGraph(("a", "a"), frozenset())
+
+    def test_chain_builder(self):
+        g = PrecedenceGraph.chain(["p", "q", "r"])
+        assert g.successors("p") == ("q",)
+        assert g.predecessors("r") == ("q",)
+
+    def test_independent_builder_has_no_edges(self):
+        g = PrecedenceGraph.independent(["a", "b"])
+        assert not g.edges
+
+
+class TestQueries:
+    def test_sources_and_sinks(self, diamond):
+        assert diamond.sources() == ("a",)
+        assert diamond.sinks() == ("d",)
+
+    def test_successors_predecessors(self, diamond):
+        assert set(diamond.successors("a")) == {"b", "c"}
+        assert set(diamond.predecessors("d")) == {"b", "c"}
+
+    def test_unknown_action_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.successors("nope")
+
+    def test_ancestors_descendants(self, diamond):
+        assert diamond.ancestors("d") == frozenset({"a", "b", "c"})
+        assert diamond.descendants("a") == frozenset({"b", "c", "d"})
+        assert diamond.ancestors("a") == frozenset()
+
+    def test_len_and_contains(self, diamond):
+        assert len(diamond) == 4
+        assert "b" in diamond
+        assert "zz" not in diamond
+
+
+class TestTopologicalOrder:
+    def test_respects_precedence(self, diamond):
+        order = diamond.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_priority_breaks_ties(self, diamond):
+        # priority reverses the default b-before-c tiebreak
+        order = diamond.topological_order(priority=lambda a: {"b": 1, "c": 0}.get(a, 0))
+        assert order.index("c") < order.index("b")
+
+    def test_deterministic_default(self, diamond):
+        assert diamond.topological_order() == diamond.topological_order()
+
+
+class TestExecutionSequences:
+    def test_valid_sequence_accepted(self, diamond):
+        assert diamond.is_execution_sequence(["a", "b", "c", "d"])
+        assert diamond.is_execution_sequence(["a", "c"])  # prefix-closed partial
+
+    def test_predecessor_violation_rejected(self, diamond):
+        assert not diamond.is_execution_sequence(["b"])
+        assert not diamond.is_execution_sequence(["a", "d"])
+
+    def test_repeated_action_rejected(self, diamond):
+        assert not diamond.is_execution_sequence(["a", "a"])
+
+    def test_unknown_action_rejected(self, diamond):
+        assert not diamond.is_execution_sequence(["a", "zz"])
+
+    def test_validate_reports_position_and_cause(self, diamond):
+        with pytest.raises(SequenceError, match="position 1"):
+            diamond.validate_execution_sequence(["a", "d", "b"])
+
+    def test_is_schedule_requires_all_actions(self, diamond):
+        assert diamond.is_schedule(["a", "b", "c", "d"])
+        assert not diamond.is_schedule(["a", "b", "c"])
+
+
+class TestUnfold:
+    def test_unfold_serializes_iterations(self):
+        body = PrecedenceGraph.chain(["x", "y"])
+        unfolded = body.unfold(3)
+        assert len(unfolded) == 6
+        # iteration k's sink precedes iteration k+1's source
+        assert ("y#0", "x#1") in unfolded.edges
+        assert ("y#1", "x#2") in unfolded.edges
+
+    def test_unfold_without_serialization(self):
+        body = PrecedenceGraph.chain(["x", "y"])
+        unfolded = body.unfold(2, serialize=False)
+        assert ("y#0", "x#1") not in unfolded.edges
+        assert ("x#0", "y#0") in unfolded.edges
+
+    def test_unfold_once_is_renamed_body(self):
+        body = PrecedenceGraph.chain(["x", "y"])
+        unfolded = body.unfold(1)
+        assert unfolded.actions == ("x#0", "y#0")
+
+    def test_unfold_rejects_nonpositive(self):
+        with pytest.raises(GraphError):
+            PrecedenceGraph.chain(["x"]).unfold(0)
+
+    def test_unfolded_topological_order_is_iteration_major(self):
+        body = PrecedenceGraph.chain(["x", "y"])
+        order = body.unfold(2).topological_order()
+        assert order == ["x#0", "y#0", "x#1", "y#1"]
+
+
+class TestRestriction:
+    def test_restricted_to_keeps_internal_edges(self, diamond):
+        sub = diamond.restricted_to(["a", "b", "d"])
+        assert sub.actions == ("a", "b", "d")
+        assert ("a", "b") in sub.edges
+        assert ("b", "d") in sub.edges
+        assert all("c" not in e for e in sub.edges)

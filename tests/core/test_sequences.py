@@ -1,0 +1,75 @@
+"""Tests for repro.core.sequences: the paper's sequence operators."""
+
+import pytest
+
+from repro.core.sequences import (
+    INFINITY,
+    cumulative,
+    minimum,
+    pointwise_difference,
+    prefixes_agree,
+    sequence_times,
+    suffix,
+)
+
+
+class TestCumulative:
+    def test_matches_paper_hat_operator(self):
+        assert cumulative([1.0, 2.0, 3.0]) == [1.0, 3.0, 6.0]
+
+    def test_empty(self):
+        assert cumulative([]) == []
+
+    def test_single(self):
+        assert cumulative([5.0]) == [5.0]
+
+    def test_preserves_length(self):
+        values = [0.5] * 10
+        assert len(cumulative(values)) == 10
+
+
+class TestMinimum:
+    def test_minimum_of_values(self):
+        assert minimum([3.0, -1.0, 2.0]) == -1.0
+
+    def test_empty_sequence_is_infinite(self):
+        # convention: constraints over empty suffixes hold vacuously
+        assert minimum([]) == INFINITY
+
+
+class TestPointwiseDifference:
+    def test_difference(self):
+        assert pointwise_difference([10.0, 10.0], [3.0, 7.0]) == [7.0, 3.0]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pointwise_difference([1.0], [1.0, 2.0])
+
+
+class TestSuffixAndPrefix:
+    def test_suffix_from_position(self):
+        assert suffix(["a", "b", "c"], 1) == ["b", "c"]
+
+    def test_suffix_from_zero_is_whole(self):
+        assert suffix(["a", "b"], 0) == ["a", "b"]
+
+    def test_suffix_past_end_is_empty(self):
+        assert suffix(["a"], 5) == []
+
+    def test_suffix_negative_raises(self):
+        with pytest.raises(ValueError):
+            suffix(["a"], -1)
+
+    def test_prefixes_agree(self):
+        assert prefixes_agree(["a", "b", "c"], ["a", "b", "x"], 2)
+        assert not prefixes_agree(["a", "b"], ["a", "x"], 2)
+        assert prefixes_agree(["a"], ["a", "b"], 1)
+
+    def test_prefixes_agree_length_overflow(self):
+        assert not prefixes_agree(["a"], ["a"], 2)
+
+
+class TestSequenceTimes:
+    def test_extends_time_function(self):
+        times = {"a": 1.0, "b": 2.0}
+        assert sequence_times(["b", "a", "b"], times.__getitem__) == [2.0, 1.0, 2.0]

@@ -1,0 +1,89 @@
+"""Tests for repro.core.system: the parameterized real-time system."""
+
+import pytest
+
+from repro.core import (
+    DeadlineFunction,
+    ParameterizedSystem,
+    PrecedenceGraph,
+    QualityDeadlineTable,
+    QualitySet,
+    QualityTimeTable,
+)
+from repro.errors import InfeasibleError, TimingError
+
+from tests.conftest import build_system
+
+
+class TestValidation:
+    def test_valid_system_returns_qmin_edf_schedule(self, chain_system):
+        schedule = chain_system.validate()
+        assert chain_system.graph.is_schedule(schedule)
+
+    def test_infeasible_at_qmin_raises(self, chain_system):
+        tight = chain_system.with_uniform_deadline(6.9)  # qmin wc total = 7
+        with pytest.raises(InfeasibleError):
+            tight.validate()
+        assert not tight.is_valid()
+
+    def test_exactly_feasible_boundary(self, chain_system):
+        boundary = chain_system.with_uniform_deadline(7.0)
+        assert boundary.is_valid()
+
+    def test_av_above_wc_rejected(self):
+        with pytest.raises(TimingError):
+            build_system(
+                edges=[],
+                actions=["a"],
+                quality_count=1,
+                av_entries={"a": [5.0]},
+                wc_entries={"a": [4.0]},
+                budget=100.0,
+            )
+
+    def test_mismatched_quality_sets_rejected(self):
+        graph = PrecedenceGraph.independent(["a"])
+        qs2 = QualitySet.from_range(2)
+        qs3 = QualitySet.from_range(3)
+        t2 = QualityTimeTable(qs2, {"a": [1.0, 2.0]})
+        t3 = QualityTimeTable(qs3, {"a": [1.0, 2.0, 3.0]})
+        deadlines = QualityDeadlineTable.quality_independent(
+            qs2, DeadlineFunction.uniform(["a"], 10.0)
+        )
+        with pytest.raises(TimingError):
+            ParameterizedSystem(graph, qs2, t2, t3, deadlines)
+
+    def test_missing_timing_for_graph_action_rejected(self):
+        graph = PrecedenceGraph.independent(["a", "b"])
+        qs = QualitySet.from_range(1)
+        times = QualityTimeTable(qs, {"a": [1.0]})
+        deadlines = QualityDeadlineTable.quality_independent(
+            qs, DeadlineFunction.uniform(["a", "b"], 10.0)
+        )
+        with pytest.raises(TimingError):
+            ParameterizedSystem(graph, qs, times, times, deadlines)
+
+
+class TestAccessors:
+    def test_qmin_qmax(self, chain_system):
+        assert chain_system.qmin == 0
+        assert chain_system.qmax == 3
+
+    def test_cav_cwc_callables(self, chain_system):
+        assert chain_system.cav(1)("a") == 2.0
+        assert chain_system.cwc(1)("a") == 4.0
+
+    def test_deadline_at(self, chain_system):
+        assert chain_system.deadline_at(0)("a") == 40.0
+
+    def test_supports_precomputed_schedule(self, chain_system):
+        assert chain_system.supports_precomputed_schedule()
+
+    def test_with_uniform_deadline_preserves_everything_else(self, chain_system):
+        changed = chain_system.with_uniform_deadline(100.0)
+        assert changed.deadline_at(0)("a") == 100.0
+        assert changed.graph is chain_system.graph
+        assert changed.average_times is chain_system.average_times
+
+    def test_baseline_schedule_is_deterministic(self, diamond_system):
+        assert diamond_system.baseline_schedule() == diamond_system.baseline_schedule()

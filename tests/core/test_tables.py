@@ -1,0 +1,151 @@
+"""Tests for repro.core.tables: pre-computed slack-bound tables.
+
+The tables must agree with the reference constraint evaluation at every
+(location, quality) pair: table[i][q] is exactly the largest elapsed
+time t for which the corresponding predicate still holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    average_constraint_slack,
+    worst_case_constraint_slack,
+)
+from repro.core.tables import ControllerTables
+from repro.core.timing import QualityAssignment
+from repro.errors import ConfigurationError
+
+from tests.conftest import build_system
+
+
+class TestAgainstReference:
+    def test_average_bounds_match_reference(self, chain_system):
+        tables = ControllerTables.from_system(chain_system)
+        schedule = list(tables.schedule)
+        for i in range(len(schedule)):
+            for q in chain_system.quality_set:
+                theta = QualityAssignment.constant(schedule, q)
+                expected = average_constraint_slack(
+                    schedule, theta, chain_system.average_times,
+                    chain_system.deadlines, i,
+                )
+                column = tables.qualities.index(q)
+                assert tables.average_bound[i][column] == expected
+
+    def test_worst_bounds_match_reference(self, chain_system):
+        tables = ControllerTables.from_system(chain_system)
+        schedule = list(tables.schedule)
+        for i in range(len(schedule)):
+            for q in chain_system.quality_set:
+                theta = QualityAssignment.constant(schedule, q)
+                expected = worst_case_constraint_slack(
+                    schedule, theta, chain_system.worst_times,
+                    chain_system.deadlines, i, chain_system.qmin,
+                )
+                column = tables.qualities.index(q)
+                assert tables.worst_bound[i][column] == expected
+
+    def test_combined_is_elementwise_min(self, diamond_system):
+        tables = ControllerTables.from_system(diamond_system)
+        assert np.array_equal(
+            tables.combined_bound,
+            np.minimum(tables.average_bound, tables.worst_bound),
+        )
+
+
+class TestRuntimeQueries:
+    def test_max_feasible_quality_is_max_of_feasible_set(self, chain_system):
+        tables = ControllerTables.from_system(chain_system)
+        for i in range(len(tables.schedule)):
+            for t in [0.0, 5.0, 20.0, 33.0]:
+                feasible = tables.feasible_qualities(i, t)
+                top = tables.max_feasible_quality(i, t)
+                if feasible:
+                    assert top == max(feasible)
+                else:
+                    assert top is None
+
+    def test_shift_extends_budget(self, chain_system):
+        tables = ControllerTables.from_system(chain_system)
+        base = tables.max_feasible_quality(0, 30.0)
+        extended = tables.max_feasible_quality(0, 30.0, shift=100.0)
+        assert extended == chain_system.qmax
+        assert base is None or base <= extended
+
+    def test_negative_shift_tightens_budget(self, chain_system):
+        tables = ControllerTables.from_system(chain_system)
+        q_nominal = tables.max_feasible_quality(0, 0.0)
+        q_tight = tables.max_feasible_quality(0, 0.0, shift=-15.0)
+        assert q_tight is None or q_tight <= q_nominal
+
+    def test_slack_lookup(self, chain_system):
+        tables = ControllerTables.from_system(chain_system)
+        assert tables.slack(0, 0) == tables.combined_bound[0][0]
+        assert tables.slack(0, 0, shift=5.0) == tables.combined_bound[0][0] + 5.0
+
+    def test_mode_selection(self, chain_system):
+        tables = ControllerTables.from_system(chain_system)
+        i, t = 0, 25.5
+        # from test_constraints: AV slack 25.0 < t <= WC slack 26.0 at qmax
+        assert 3 not in tables.feasible_qualities(i, t, mode="average")
+        assert 3 in tables.feasible_qualities(i, t, mode="worst")
+        assert 3 not in tables.feasible_qualities(i, t, mode="both")
+
+    def test_unknown_mode_raises(self, chain_system):
+        tables = ControllerTables.from_system(chain_system)
+        with pytest.raises(ConfigurationError):
+            tables.feasible_qualities(0, 0.0, mode="???")
+
+
+class TestApplicability:
+    def test_quality_dependent_deadline_order_rejected(self):
+        from repro.core import (
+            DeadlineFunction,
+            ParameterizedSystem,
+            PrecedenceGraph,
+            QualityDeadlineTable,
+            QualitySet,
+            QualityTimeTable,
+        )
+
+        graph = PrecedenceGraph.independent(["a", "b"])
+        qs = QualitySet.from_range(2)
+        times = QualityTimeTable(qs, {"a": 1.0, "b": 1.0})
+        deadlines = QualityDeadlineTable(
+            qs,
+            {
+                0: DeadlineFunction({"a": 1.0, "b": 2.0}),
+                1: DeadlineFunction({"a": 20.0, "b": 10.0}),
+            },
+        )
+        system = ParameterizedSystem(graph, qs, times, times, deadlines)
+        with pytest.raises(ConfigurationError, match="deadline order"):
+            ControllerTables.from_system(system)
+
+    def test_invalid_schedule_rejected(self, chain_system):
+        with pytest.raises(ConfigurationError):
+            ControllerTables.from_system(chain_system, schedule=["c", "b", "a"])
+
+    def test_memory_footprint_scales_with_cells(self, chain_system):
+        tables = ControllerTables.from_system(chain_system)
+        cells = 2 * len(tables.schedule) * len(tables.qualities)
+        assert tables.memory_bytes(cell_bytes=4) == 4 * cells
+        assert tables.memory_bytes(cell_bytes=8) == 8 * cells
+
+
+class TestMonotonicity:
+    def test_bounds_non_increasing_in_quality_for_uniform_deadlines(self):
+        system = build_system(
+            edges=[("a", "b")],
+            actions=["a", "b"],
+            quality_count=3,
+            av_entries={"a": [1.0, 2.0, 3.0], "b": [1.0, 3.0, 6.0]},
+            wc_entries={"a": [2.0, 4.0, 7.0], "b": [2.0, 5.0, 9.0]},
+            budget=25.0,
+        )
+        tables = ControllerTables.from_system(system)
+        diffs_av = np.diff(tables.average_bound, axis=1)
+        diffs_wc = np.diff(tables.worst_bound, axis=1)
+        assert (diffs_av <= 0).all()
+        assert (diffs_wc <= 0).all()

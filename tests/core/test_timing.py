@@ -1,0 +1,144 @@
+"""Tests for repro.core.timing: time tables and quality assignments."""
+
+import pytest
+
+from repro.core.action import QualitySet
+from repro.core.timing import QualityAssignment, QualityTimeTable, TimeFunction
+from repro.errors import TimingError
+
+
+@pytest.fixture
+def qs3() -> QualitySet:
+    return QualitySet.from_range(3)
+
+
+class TestTimeFunction:
+    def test_lookup(self):
+        f = TimeFunction({"a": 2.0})
+        assert f("a") == 2.0
+
+    def test_missing_action_raises(self):
+        with pytest.raises(TimingError):
+            TimeFunction({"a": 2.0})("b")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TimingError):
+            TimeFunction({"a": -1.0})
+
+    def test_over_sequence(self):
+        f = TimeFunction({"a": 2.0, "b": 3.0})
+        assert f.over(["a", "b", "a"]) == [2.0, 3.0, 2.0]
+
+    def test_constant_builder(self):
+        f = TimeFunction.constant(["a", "b"], 4.0)
+        assert f("a") == f("b") == 4.0
+
+
+class TestQualityTimeTable:
+    def test_list_spec(self, qs3):
+        t = QualityTimeTable(qs3, {"a": [1.0, 2.0, 3.0]})
+        assert t.time("a", 0) == 1.0
+        assert t.time("a", 2) == 3.0
+
+    def test_scalar_spec_is_quality_independent(self, qs3):
+        t = QualityTimeTable(qs3, {"a": 5.0})
+        assert t.time("a", 0) == t.time("a", 2) == 5.0
+        assert not t.depends_on_quality("a")
+
+    def test_mapping_spec(self, qs3):
+        t = QualityTimeTable(qs3, {"a": {0: 1.0, 1: 1.0, 2: 9.0}})
+        assert t.time("a", 2) == 9.0
+        assert t.depends_on_quality("a")
+
+    def test_monotonicity_enforced(self, qs3):
+        with pytest.raises(TimingError, match="non-decreasing"):
+            QualityTimeTable(qs3, {"a": [3.0, 2.0, 4.0]})
+
+    def test_wrong_level_count_rejected(self, qs3):
+        with pytest.raises(TimingError):
+            QualityTimeTable(qs3, {"a": [1.0, 2.0]})
+
+    def test_missing_level_in_mapping_rejected(self, qs3):
+        with pytest.raises(TimingError):
+            QualityTimeTable(qs3, {"a": {0: 1.0, 2: 2.0}})
+
+    def test_unknown_quality_rejected(self, qs3):
+        t = QualityTimeTable(qs3, {"a": [1.0, 2.0, 3.0]})
+        with pytest.raises(TimingError):
+            t.time("a", 7)
+
+    def test_unfolded_instance_falls_back_to_base_name(self, qs3):
+        t = QualityTimeTable(qs3, {"ME": [1.0, 2.0, 3.0]})
+        assert t.time("ME#42", 1) == 2.0
+
+    def test_unknown_action_raises(self, qs3):
+        t = QualityTimeTable(qs3, {"a": [1.0, 2.0, 3.0]})
+        with pytest.raises(TimingError):
+            t.time("zz", 0)
+
+    def test_at_quality_callable(self, qs3):
+        t = QualityTimeTable(qs3, {"a": [1.0, 2.0, 3.0]})
+        c1 = t.at_quality(1)
+        assert c1("a") == 2.0
+
+    def test_under_assignment(self, qs3):
+        t = QualityTimeTable(qs3, {"a": [1.0, 2.0, 3.0], "b": [5.0, 6.0, 7.0]})
+        theta = QualityAssignment({"a": 0, "b": 2})
+        f = t.under(theta)
+        assert f("a") == 1.0
+        assert f("b") == 7.0
+
+    def test_validate_bounds_rejects_av_above_wc(self, qs3):
+        av = QualityTimeTable(qs3, {"a": [5.0, 5.0, 5.0]})
+        wc = QualityTimeTable(qs3, {"a": [4.0, 6.0, 6.0]})
+        with pytest.raises(TimingError, match="Cav"):
+            QualityTimeTable.validate_bounds(av, wc)
+
+    def test_validate_bounds_accepts_equal(self, qs3):
+        t = QualityTimeTable(qs3, {"a": [4.0, 5.0, 6.0]})
+        QualityTimeTable.validate_bounds(t, t)  # no raise
+
+
+class TestQualityAssignment:
+    def test_constant(self):
+        theta = QualityAssignment.constant(["a", "b"], 3)
+        assert theta("a") == theta("b") == 3
+
+    def test_missing_action_raises(self):
+        theta = QualityAssignment({"a": 1})
+        with pytest.raises(TimingError):
+            theta("b")
+
+    def test_override_suffix_matches_paper_operator(self):
+        # theta |>i q keeps the first i scheduled actions, sets the rest
+        theta = QualityAssignment({"a": 0, "b": 1, "c": 2})
+        updated = theta.override_suffix(["a", "b", "c"], 1, 9)
+        assert updated("a") == 0
+        assert updated("b") == 9
+        assert updated("c") == 9
+
+    def test_override_suffix_zero_prefix_sets_everything(self):
+        theta = QualityAssignment({"a": 0, "b": 1})
+        updated = theta.override_suffix(["a", "b"], 0, 5)
+        assert updated("a") == updated("b") == 5
+
+    def test_override_suffix_full_prefix_changes_nothing(self):
+        theta = QualityAssignment({"a": 0, "b": 1})
+        updated = theta.override_suffix(["a", "b"], 2, 5)
+        assert updated("a") == 0
+        assert updated("b") == 1
+
+    def test_original_is_immutable(self):
+        theta = QualityAssignment({"a": 0, "b": 0})
+        theta.override_suffix(["a", "b"], 0, 7)
+        assert theta("a") == 0
+
+    def test_restricted_agrees(self):
+        t1 = QualityAssignment({"a": 1, "b": 2, "c": 3})
+        t2 = QualityAssignment({"a": 1, "b": 2, "c": 9})
+        assert t1.restricted_agrees(t2, ["a", "b"])
+        assert not t1.restricted_agrees(t2, ["a", "c"])
+
+    def test_with_action(self):
+        theta = QualityAssignment({"a": 1}).with_action("b", 2)
+        assert theta("b") == 2

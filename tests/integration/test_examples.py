@@ -1,0 +1,58 @@
+"""The shipped examples must run (deliverable b).
+
+The fast examples run end-to-end in a subprocess; the two
+simulation-scale examples are compile-checked here and exercised at
+full length by the benches (they share the same runner entry points).
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "pixel_codec_demo.py", "codegen_tool.py"]
+HEAVY_EXAMPLES = ["video_encoder.py", "soft_deadlines.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_fast_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), f"{script} produced no output"
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES + HEAVY_EXAMPLES)
+def test_example_compiles(script):
+    py_compile.compile(str(EXAMPLES / script), doraise=True)
+
+
+def test_quickstart_reports_schedule_and_qualities():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "EDF schedule: grab -> enhance -> pack -> emit" in completed.stdout
+    assert "degraded steps: 0" in completed.stdout
+
+
+def test_codegen_tool_emits_c():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "codegen_tool.py"), "--emit"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "qos_run_cycle" in completed.stdout
+    assert "int32_t qos_slack_av" in completed.stdout

@@ -1,0 +1,52 @@
+"""Tests for repro.platform.clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.clock import CycleClock, MEGA, cycles, mcycles
+
+
+class TestUnits:
+    def test_mcycles(self):
+        assert mcycles(320) == 320e6
+        assert MEGA == 1e6
+
+    def test_cycles_identity(self):
+        assert cycles(42) == 42.0
+
+
+class TestCycleClock:
+    def test_starts_at_zero(self):
+        assert CycleClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = CycleClock()
+        clock.advance(10.0)
+        clock.advance(5.0)
+        assert clock.now == 15.0
+
+    def test_advance_returns_new_time(self):
+        assert CycleClock().advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        clock = CycleClock()
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1.0)
+
+    def test_advance_to_moves_forward_only(self):
+        clock = CycleClock(10.0)
+        clock.advance_to(20.0)
+        assert clock.now == 20.0
+        clock.advance_to(5.0)  # no-op
+        assert clock.now == 20.0
+
+    def test_reset(self):
+        clock = CycleClock(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CycleClock(-1.0)
+        with pytest.raises(ConfigurationError):
+            CycleClock().reset(-5.0)

@@ -1,0 +1,98 @@
+"""Tests for repro.platform.distributions: bounded execution-time laws."""
+
+import numpy as np
+import pytest
+
+from repro.core import QualitySet, QualityTimeTable
+from repro.errors import ConfigurationError
+from repro.platform.distributions import BoundedTimeDistribution, TimingModel
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBoundedTimeDistribution:
+    def test_samples_never_exceed_ceiling(self):
+        dist = BoundedTimeDistribution(average=100.0, ceiling=400.0)
+        samples = dist.sample_many(rng(), 5000)
+        assert samples.max() <= 400.0
+        assert samples.min() >= dist.floor
+
+    def test_mean_tracks_average(self):
+        dist = BoundedTimeDistribution(average=100.0, ceiling=400.0)
+        samples = dist.sample_many(rng(), 20000)
+        assert abs(samples.mean() - 100.0) / 100.0 < 0.05
+
+    def test_scale_shifts_mean(self):
+        dist = BoundedTimeDistribution(average=100.0, ceiling=400.0)
+        low = dist.sample_many(rng(1), 5000, scales=0.6).mean()
+        high = dist.sample_many(rng(2), 5000, scales=1.5).mean()
+        assert low < 100.0 < high
+
+    def test_scale_cannot_push_past_ceiling(self):
+        dist = BoundedTimeDistribution(average=100.0, ceiling=400.0)
+        samples = dist.sample_many(rng(), 2000, scales=100.0)
+        assert samples.max() <= 400.0
+
+    def test_deterministic_when_average_equals_ceiling(self):
+        dist = BoundedTimeDistribution(average=16000.0, ceiling=16000.0)
+        assert dist.deterministic
+        assert dist.sample(rng()) == 16000.0
+        assert (dist.sample_many(rng(), 100) == 16000.0).all()
+
+    def test_per_element_scales(self):
+        dist = BoundedTimeDistribution(average=100.0, ceiling=400.0)
+        scales = np.array([0.5] * 1000 + [1.5] * 1000)
+        samples = dist.sample_many(rng(), 2000, scales=scales)
+        assert samples[:1000].mean() < samples[1000:].mean()
+
+    def test_single_sample_in_support(self):
+        dist = BoundedTimeDistribution(average=100.0, ceiling=400.0)
+        for _ in range(100):
+            value = dist.sample(rng())
+            assert dist.floor <= value <= 400.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundedTimeDistribution(average=500.0, ceiling=400.0)
+        with pytest.raises(ConfigurationError):
+            BoundedTimeDistribution(average=-1.0, ceiling=400.0)
+        with pytest.raises(ConfigurationError):
+            BoundedTimeDistribution(average=10.0, ceiling=40.0, floor_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            BoundedTimeDistribution(average=10.0, ceiling=40.0, concentration=0.0)
+
+    def test_concentration_controls_spread(self):
+        tight = BoundedTimeDistribution(average=100.0, ceiling=400.0, concentration=50.0)
+        wild = BoundedTimeDistribution(average=100.0, ceiling=400.0, concentration=2.0)
+        assert tight.sample_many(rng(3), 5000).std() < wild.sample_many(rng(4), 5000).std()
+
+
+class TestTimingModel:
+    @pytest.fixture
+    def model(self):
+        qs = QualitySet.from_range(2)
+        av = QualityTimeTable(qs, {"a": [10.0, 20.0], "b": 5.0})
+        wc = QualityTimeTable(qs, {"a": [40.0, 80.0], "b": 5.0})
+        return TimingModel(av, wc, qs)
+
+    def test_distribution_lookup(self, model):
+        dist = model.distribution("a", 1)
+        assert dist.average == 20.0
+        assert dist.ceiling == 80.0
+
+    def test_sample_respects_bounds(self, model):
+        generator = rng()
+        for _ in range(200):
+            assert model.sample(generator, "a", 0) <= 40.0
+
+    def test_deterministic_action(self, model):
+        assert model.sample(rng(), "b", 0) == 5.0
+
+    def test_unfolded_name_falls_back_to_base(self, model):
+        assert model.distribution("a#7", 1).average == 20.0
+
+    def test_unknown_action_raises(self, model):
+        with pytest.raises(ConfigurationError):
+            model.distribution("zz", 0)

@@ -1,0 +1,150 @@
+"""Tests for repro.platform.executor and repro.platform.processor."""
+
+import numpy as np
+import pytest
+
+from repro.core import QualitySet, QualityTimeTable, TableDrivenController
+from repro.platform.distributions import TimingModel
+from repro.platform.executor import (
+    StochasticExecutor,
+    average_time_executor,
+    fixed_fraction_executor,
+    seeded_rng,
+)
+from repro.platform.processor import Processor
+from repro.platform.trace import ActionEvent, ExecutionTrace
+
+from tests.conftest import build_system
+
+
+@pytest.fixture
+def system():
+    return build_system(
+        edges=[("a", "b"), ("b", "c")],
+        actions=["a", "b", "c"],
+        quality_count=3,
+        av_entries={"a": [2.0, 4.0, 8.0], "b": 3.0, "c": [1.0, 2.0, 4.0]},
+        wc_entries={"a": [4.0, 8.0, 16.0], "b": 6.0, "c": [2.0, 4.0, 8.0]},
+        budget=60.0,
+    )
+
+
+class TestExecutors:
+    def test_stochastic_executor_bounded(self, system):
+        model = TimingModel(
+            system.average_times, system.worst_times, system.quality_set
+        )
+        executor = StochasticExecutor(model, seeded_rng(1))
+        for _ in range(100):
+            duration = executor("a", 2)
+            assert 0 <= duration <= 16.0
+        assert executor.executed_actions == 100
+
+    def test_load_function_applied(self, system):
+        model = TimingModel(
+            system.average_times, system.worst_times, system.quality_set
+        )
+        hot = StochasticExecutor(model, seeded_rng(2), load=lambda a, i: 1.8)
+        cold = StochasticExecutor(model, seeded_rng(2), load=lambda a, i: 0.4)
+        hot_mean = np.mean([hot("a", 1) for _ in range(500)])
+        cold_mean = np.mean([cold("a", 1) for _ in range(500)])
+        assert hot_mean > cold_mean
+
+    def test_fixed_fraction_executor(self, system):
+        executor = fixed_fraction_executor(system, 0.5)
+        assert executor("a", 2) == 8.0
+
+    def test_average_time_executor(self, system):
+        executor = average_time_executor(system)
+        assert executor("a", 1) == 4.0
+
+    def test_seeded_rng_reproducible(self):
+        assert seeded_rng(7).integers(0, 1000) == seeded_rng(7).integers(0, 1000)
+
+
+class TestProcessor:
+    def test_controlled_cycle_accounts_overheads(self, system):
+        controller = TableDrivenController(system)
+        processor = Processor(decision_overhead=10.0)
+        execution = processor.run_controlled_cycle(
+            controller, average_time_executor(system)
+        )
+        assert execution.controller_cycles == 30.0  # 3 decisions x 10
+        assert execution.total_cycles == execution.action_cycles + 30.0
+        assert execution.overhead_ratio == pytest.approx(
+            30.0 / execution.total_cycles
+        )
+
+    def test_controlled_cycle_respects_deadlines(self, system):
+        controller = TableDrivenController(system)
+        processor = Processor(decision_overhead=0.0)
+        execution = processor.run_controlled_cycle(
+            controller,
+            fixed_fraction_executor(system, 1.0),
+            deadline_of=system.deadline_at(system.qmin),
+        )
+        assert execution.deadline_misses == 0
+
+    def test_controlled_cycle_trace_matches_qualities(self, system):
+        controller = TableDrivenController(system)
+        processor = Processor()
+        execution = processor.run_controlled_cycle(
+            controller, average_time_executor(system)
+        )
+        assert execution.trace is not None
+        assert execution.trace.quality_trace() == list(execution.qualities)
+
+    def test_constant_cycle_no_controller_cost(self, system):
+        processor = Processor(decision_overhead=10.0)
+        execution = processor.run_constant_cycle(
+            system.baseline_schedule(), 1, average_time_executor(system)
+        )
+        assert execution.controller_cycles == 0.0
+        assert execution.qualities == (1, 1, 1)
+
+    def test_constant_cycle_detects_misses(self, system):
+        processor = Processor()
+        tight = system.with_uniform_deadline(5.0)
+        execution = processor.run_constant_cycle(
+            tight.baseline_schedule(),
+            2,
+            average_time_executor(system),
+            deadline_of=tight.deadline_at(0),
+        )
+        assert execution.deadline_misses > 0
+
+    def test_shift_rejected_for_reference_controller(self, system):
+        from repro.core import ReferenceController
+
+        controller = ReferenceController(system)
+        processor = Processor()
+        with pytest.raises(TypeError):
+            processor.run_controlled_cycle(
+                controller, average_time_executor(system), deadline_shift=5.0
+            )
+
+
+class TestTrace:
+    def test_event_properties(self):
+        event = ActionEvent("a", 1, start=10.0, duration=5.0, deadline=14.0)
+        assert event.end == 15.0
+        assert event.missed_deadline
+
+    def test_trace_aggregates(self):
+        trace = ExecutionTrace()
+        trace.record(ActionEvent("a#0", 0, 0.0, 3.0))
+        trace.record(ActionEvent("b#0", 1, 3.0, 4.0))
+        trace.record(ActionEvent("a#1", 0, 7.0, 5.0))
+        assert len(trace) == 3
+        assert trace.total_time == 12.0
+        assert trace.makespan == 12.0
+        assert len(trace.by_action("a#0")) == 1
+        grouped = trace.durations_by_base_action()
+        assert grouped["a"] == [3.0, 5.0]
+        assert trace.quality_trace() == [0, 1, 0]
+
+    def test_misses_listed(self):
+        trace = ExecutionTrace()
+        trace.record(ActionEvent("a", 0, 0.0, 10.0, deadline=5.0))
+        trace.record(ActionEvent("b", 0, 10.0, 1.0, deadline=20.0))
+        assert [e.action for e in trace.misses()] == ["a"]

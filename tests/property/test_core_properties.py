@@ -1,0 +1,187 @@
+"""Property-based tests of the core method (hypothesis).
+
+These encode the paper's theorems as machine-checked properties over
+randomized instances:
+
+* Proposition 2.1 safety: for any actual times ``C <= Cwc_theta`` the
+  controlled execution misses no deadline.
+* Controller maximality (local optimality): the chosen quality is the
+  largest constraint-satisfying one.
+* The table-driven controller is decision-equivalent to the reference.
+* EDF correctness and feasibility invariants.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ControllerTables,
+    QualityAssignment,
+    ReferenceController,
+    TableDrivenController,
+    best_sched,
+    edf_schedule,
+    is_edf_order,
+)
+from repro.core.constraints import (
+    average_constraint_slack,
+    worst_case_constraint_slack,
+)
+
+from tests.strategies import dags, feasible_systems
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@given(graph=dags(), seed=st.integers(min_value=0, max_value=2**31))
+@SETTINGS
+def test_edf_schedule_is_valid_schedule(graph, seed):
+    import random
+
+    rng = random.Random(seed)
+    deadlines = {a: float(rng.randint(0, 50)) for a in graph.actions}
+    schedule = edf_schedule(graph, deadlines.__getitem__)
+    assert graph.is_schedule(schedule)
+    assert is_edf_order(graph, schedule, deadlines.__getitem__)
+
+
+@given(graph=dags(), seed=st.integers(min_value=0, max_value=2**31),
+       prefix_fraction=st.floats(min_value=0.0, max_value=1.0))
+@SETTINGS
+def test_best_sched_preserves_prefix_and_schedules_all(graph, seed, prefix_fraction):
+    import random
+
+    rng = random.Random(seed)
+    deadlines = {a: float(rng.randint(0, 50)) for a in graph.actions}
+    base = edf_schedule(graph, deadlines.__getitem__)
+    prefix_length = int(prefix_fraction * len(base))
+    # perturb deadlines, then reschedule the remainder
+    new_deadlines = {a: float(rng.randint(0, 50)) for a in graph.actions}
+    result = best_sched(graph, base, new_deadlines.__getitem__, prefix_length)
+    assert result[:prefix_length] == base[:prefix_length]
+    assert graph.is_schedule(result)
+
+
+@given(system=feasible_systems(), data=st.data())
+@SETTINGS
+def test_proposition_2_1_safety(system, data):
+    """No deadline miss whenever actual times stay below Cwc_theta."""
+    controller = ReferenceController(system)
+    controller.start_cycle()
+    completions = []
+    while not controller.done:
+        decision = controller.decide()
+        fraction = data.draw(
+            st.floats(min_value=0.0, max_value=1.0), label="time fraction"
+        )
+        actual = fraction * system.worst_times.time(decision.action, decision.quality)
+        controller.record_completion(actual)
+        completions.append((decision.action, controller.elapsed))
+    deadline_of = system.deadlines.under(controller.assignment)
+    for action, completed_at in completions:
+        assert completed_at <= deadline_of(action) + 1e-9
+    assert all(not d.degraded for d in controller.decisions)
+
+
+@given(system=feasible_systems(), data=st.data())
+@SETTINGS
+def test_quality_manager_maximality(system, data):
+    """qM is the max satisfying level: chosen q feasible, higher ones not."""
+    controller = ReferenceController(system)
+    controller.start_cycle()
+    while not controller.done:
+        t = controller.elapsed
+        decision = controller.decide()
+        assert not decision.degraded
+        for q in system.quality_set:
+            satisfied = decision.evaluations[q].satisfied(t, "both")
+            if q > decision.quality:
+                assert not satisfied
+        assert decision.evaluations[decision.quality].satisfied(t, "both")
+        fraction = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        controller.record_completion(
+            fraction * system.worst_times.time(decision.action, decision.quality)
+        )
+
+
+@given(system=feasible_systems(), data=st.data())
+@SETTINGS
+def test_table_driven_equals_reference(system, data):
+    """Integer-time instances: decisions agree exactly at every step."""
+    reference = ReferenceController(system)
+    fast = TableDrivenController(system)
+    while not reference.done:
+        d_ref = reference.decide()
+        d_fast = fast.decide()
+        assert d_ref.action == d_fast.action
+        assert d_ref.quality == d_fast.quality, (
+            f"step {d_ref.step}: reference chose {d_ref.quality}, "
+            f"tables chose {d_fast.quality}"
+        )
+        # integer actual times keep both elapsed clocks identical and exact
+        bound = int(system.worst_times.time(d_ref.action, d_ref.quality))
+        actual = float(data.draw(st.integers(min_value=0, max_value=max(bound, 0))))
+        reference.record_completion(actual)
+        fast.record_completion(actual)
+
+
+@given(system=feasible_systems())
+@SETTINGS
+def test_tables_match_reference_constraints_everywhere(system):
+    tables = ControllerTables.from_system(system)
+    schedule = list(tables.schedule)
+    for i in range(len(schedule)):
+        for q in system.quality_set:
+            theta = QualityAssignment.constant(schedule, q)
+            column = tables.qualities.index(q)
+            assert tables.average_bound[i][column] == average_constraint_slack(
+                schedule, theta, system.average_times, system.deadlines, i
+            )
+            assert tables.worst_bound[i][column] == worst_case_constraint_slack(
+                schedule, theta, system.worst_times, system.deadlines, i, system.qmin
+            )
+
+
+@given(system=feasible_systems(), shift=st.integers(min_value=0, max_value=50))
+@SETTINGS
+def test_budget_monotonicity(system, shift):
+    """More budget never lowers the first chosen quality."""
+    controller = TableDrivenController(system)
+    base = controller.tables.max_feasible_quality(0, 0.0, shift=0.0)
+    extended = controller.tables.max_feasible_quality(0, 0.0, shift=float(shift))
+    assert base is not None  # validated system: qmin feasible at t=0
+    assert extended is not None
+    assert extended >= base
+
+
+@given(system=feasible_systems(), data=st.data())
+@SETTINGS
+def test_quality_assignment_compatibility(system, data):
+    """Successive (alpha_i, theta_i) agree on executed prefixes (section 2.2)."""
+    controller = ReferenceController(system)
+    previous_schedule = None
+    previous_assignment = None
+    step = 0
+    while not controller.done:
+        decision = controller.decide()
+        if previous_schedule is not None:
+            assert list(controller.schedule[:step]) == list(previous_schedule[:step])
+            assert controller.assignment.restricted_agrees(
+                previous_assignment, controller.schedule[:step]
+            )
+        previous_schedule = list(controller.schedule)
+        previous_assignment = controller.assignment
+        step += 1
+        fraction = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        controller.record_completion(
+            fraction * system.worst_times.time(decision.action, decision.quality)
+        )
+
+
+@given(graph=dags(max_actions=6), iterations=st.integers(min_value=1, max_value=4))
+@SETTINGS
+def test_unfold_size_and_acyclicity(graph, iterations):
+    unfolded = graph.unfold(iterations)
+    assert len(unfolded) == len(graph) * iterations
+    # construction succeeded => acyclic; every topological order is a schedule
+    assert unfolded.is_schedule(unfolded.topological_order())

@@ -1,0 +1,54 @@
+"""Tests for the online-learning controlled run (paper section 4 extension)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import tiny_config
+from repro.sim.encoder_loop import EncoderSimulation
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    return EncoderSimulation(tiny_config())
+
+
+class TestLearningRun:
+    def test_safe_under_bias(self, simulation):
+        result = simulation.run_learning_controlled(time_bias=1.3, relearn_every=10)
+        assert result.skip_count == 0
+        assert result.deadline_miss_count == 0
+
+    def test_safe_with_fast_platform(self, simulation):
+        """Bias < 1: platform faster than profiled — also safe, more quality."""
+        fast = simulation.run_learning_controlled(time_bias=0.8, relearn_every=10)
+        slow = simulation.run_learning_controlled(time_bias=1.3, relearn_every=10)
+        assert fast.deadline_miss_count == 0
+        assert fast.mean_quality() > slow.mean_quality()
+
+    def test_bias_respects_worst_case_contract(self, simulation):
+        """Even an extreme bias cannot push draws past Cwc: still safe."""
+        result = simulation.run_controlled(time_bias=5.0)
+        assert result.deadline_miss_count == 0
+        assert result.skip_count == 0
+
+    def test_biased_platform_lowers_quality(self, simulation):
+        nominal = simulation.run_controlled()
+        biased = simulation.run_controlled(time_bias=1.3)
+        assert biased.mean_quality() < nominal.mean_quality()
+
+    def test_learning_reduces_churn_under_bias(self, simulation):
+        static = simulation.run_controlled(time_bias=1.3)
+        learned = simulation.run_learning_controlled(time_bias=1.3, relearn_every=10)
+        assert learned.mean_quality_churn() < static.mean_quality_churn()
+
+    def test_invalid_arguments(self, simulation):
+        with pytest.raises(ConfigurationError):
+            simulation.run_learning_controlled(relearn_every=0)
+        with pytest.raises(ConfigurationError):
+            simulation.run_learning_controlled(constraint_mode="nope")
+
+    def test_labels(self, simulation):
+        result = simulation.run_learning_controlled(time_bias=1.2, relearn_every=30)
+        assert "learning" in result.label
+        biased = simulation.run_controlled(time_bias=1.2)
+        assert "bias=1.2" in biased.label

@@ -1,0 +1,88 @@
+"""Hypothesis strategies for randomized core-model instances.
+
+All generated execution times are *integers* (cycle counts, as in the
+paper) so that float64 arithmetic is exact and the table-driven
+controller can be required to agree with the reference implementation
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import (
+    DeadlineFunction,
+    ParameterizedSystem,
+    PrecedenceGraph,
+    QualityDeadlineTable,
+    QualitySet,
+    QualityTimeTable,
+)
+
+
+@st.composite
+def dags(draw, max_actions: int = 7) -> PrecedenceGraph:
+    """Random DAGs: edges only go forward in a random vocabulary order."""
+    count = draw(st.integers(min_value=1, max_value=max_actions))
+    actions = [f"a{i}" for i in range(count)]
+    edges = []
+    for i in range(count):
+        for j in range(i + 1, count):
+            if draw(st.booleans()):
+                edges.append((actions[i], actions[j]))
+    return PrecedenceGraph.from_edges(edges, actions)
+
+
+@st.composite
+def quality_tables(
+    draw, graph: PrecedenceGraph, quality_set: QualitySet, max_time: int = 20
+) -> tuple[QualityTimeTable, QualityTimeTable]:
+    """Random (Cav, Cwc) tables: non-decreasing in q, Cav <= Cwc."""
+    av_entries = {}
+    wc_entries = {}
+    for action in graph.actions:
+        av_base = draw(st.integers(min_value=0, max_value=max_time))
+        wc_extra = draw(st.integers(min_value=0, max_value=max_time))
+        av_levels = [av_base]
+        wc_levels = [av_base + wc_extra]
+        for _ in range(len(quality_set) - 1):
+            av_step = draw(st.integers(min_value=0, max_value=max_time))
+            wc_step = draw(st.integers(min_value=av_step, max_value=2 * max_time))
+            av_levels.append(av_levels[-1] + av_step)
+            wc_levels.append(wc_levels[-1] + wc_step)
+        av_entries[action] = [float(v) for v in av_levels]
+        wc_entries[action] = [float(v) for v in wc_levels]
+    return (
+        QualityTimeTable(quality_set, av_entries),
+        QualityTimeTable(quality_set, wc_entries),
+    )
+
+
+@st.composite
+def feasible_systems(draw, max_actions: int = 6, max_levels: int = 4) -> ParameterizedSystem:
+    """Random systems guaranteed feasible at qmin under worst-case times.
+
+    The uniform cycle budget is drawn at or above the qmin worst-case
+    total load, so the Problem precondition always holds.
+    """
+    graph = draw(dags(max_actions=max_actions))
+    level_count = draw(st.integers(min_value=1, max_value=max_levels))
+    quality_set = QualitySet.from_range(level_count)
+    average, worst = draw(quality_tables(graph, quality_set))
+    qmin = quality_set.qmin
+    wc_total = sum(worst.time(a, qmin) for a in graph.actions)
+    headroom = draw(st.integers(min_value=0, max_value=100))
+    budget = float(wc_total + headroom)
+    deadlines = QualityDeadlineTable.quality_independent(
+        quality_set, DeadlineFunction.uniform(graph.actions, budget)
+    )
+    return ParameterizedSystem(graph, quality_set, average, worst, deadlines)
+
+
+@st.composite
+def actual_time_fractions(draw, count: int) -> list[float]:
+    """Per-step fractions in [0, 1] placing actual times in [0, Cwc]."""
+    return [
+        draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        for _ in range(count)
+    ]

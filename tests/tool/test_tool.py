@@ -1,0 +1,215 @@
+"""Tests for the prototype-tool pipeline (repro.tool)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QualitySet, QualityTimeTable
+from repro.core.tables import CompressedPeriodicTables, ControllerTables
+from repro.errors import ConfigurationError, TimingError
+from repro.platform.trace import ActionEvent, ExecutionTrace
+from repro.tool.codegen import generate_c_controller
+from repro.tool.compiler import compile_application
+from repro.tool.dataflow import analyze_dataflow, critical_path_length
+from repro.tool.timing_analysis import (
+    EwmaAverageEstimator,
+    TimingProfile,
+    estimate_tables_from_profile,
+)
+from repro.video.pipeline import ME_ACTION, macroblock_application
+
+from tests.conftest import build_system
+
+
+@pytest.fixture(scope="module")
+def encoder_system():
+    app = macroblock_application(macroblocks=6)
+    return app.system(budget=6 * 320e6 / 1620)
+
+
+class TestDataflowAnalysis:
+    def test_report_fields(self, encoder_system):
+        report = analyze_dataflow(encoder_system)
+        assert len(report.actions) == 54
+        assert report.deadline_order_quality_independent
+        assert report.quality_sensitive_actions == (ME_ACTION,)
+        assert encoder_system.graph.is_schedule(list(report.schedule))
+
+    def test_critical_path_of_chain(self, chain_system):
+        assert critical_path_length(chain_system.graph) == 3
+
+    def test_parallelism_of_pipeline_is_one(self, chain_system):
+        report = analyze_dataflow(chain_system)
+        assert report.parallelism == 1.0
+
+    def test_diamond_has_parallelism(self, diamond_system):
+        report = analyze_dataflow(diamond_system)
+        assert report.parallelism > 1.0
+
+
+class TestTimingAnalysis:
+    def test_profile_recovers_deterministic_times(self):
+        qs = QualitySet.from_range(2)
+        profile = TimingProfile()
+        for q, duration in [(0, 10.0), (1, 20.0)]:
+            for _ in range(5):
+                profile.add("a#3", q, duration)
+        average, worst = estimate_tables_from_profile(profile, qs, wcet_margin=1.0)
+        assert average.time("a", 0) == 10.0
+        assert worst.time("a", 1) == 20.0
+
+    def test_profile_from_trace(self):
+        trace = ExecutionTrace()
+        trace.record(ActionEvent("a#0", 0, 0.0, 4.0))
+        trace.record(ActionEvent("a#1", 0, 4.0, 6.0))
+        profile = TimingProfile()
+        profile.add_trace(trace)
+        assert profile.count("a", 0) == 2
+
+    def test_missing_level_raises(self):
+        qs = QualitySet.from_range(2)
+        profile = TimingProfile()
+        profile.add("a", 0, 1.0)
+        with pytest.raises(TimingError):
+            estimate_tables_from_profile(profile, qs)
+
+    def test_monotonicity_enforced_on_noisy_samples(self):
+        """Sample means may invert; estimates must stay monotone."""
+        qs = QualitySet.from_range(2)
+        profile = TimingProfile()
+        for _ in range(3):
+            profile.add("a", 0, 10.0)
+            profile.add("a", 1, 9.0)  # noise: q1 sampled faster than q0
+        average, worst = estimate_tables_from_profile(profile, qs, wcet_margin=1.0)
+        assert average.time("a", 1) >= average.time("a", 0)
+        QualityTimeTable.validate_bounds(average, worst)
+
+    def test_wcet_margin_validated(self):
+        with pytest.raises(ConfigurationError):
+            estimate_tables_from_profile(TimingProfile(), QualitySet.from_range(1), 0.5)
+
+
+class TestEwmaEstimator:
+    @pytest.fixture
+    def prior(self):
+        return QualityTimeTable(QualitySet.from_range(2), {"a": [10.0, 20.0]})
+
+    def test_falls_back_to_prior(self, prior):
+        estimator = EwmaAverageEstimator(prior)
+        assert estimator.estimate("a", 0) == 10.0
+
+    def test_learns_from_observations(self, prior):
+        estimator = EwmaAverageEstimator(prior, alpha=0.5)
+        for _ in range(20):
+            estimator.observe("a#1", 0, 14.0)
+        assert estimator.estimate("a", 0) == pytest.approx(14.0, abs=0.1)
+        assert estimator.observations("a", 0) == 20
+
+    def test_learned_table_is_monotone(self, prior):
+        estimator = EwmaAverageEstimator(prior, alpha=1.0)
+        estimator.observe("a", 0, 30.0)  # above the q1 prior of 20
+        table = estimator.learned_table(QualitySet.from_range(2))
+        assert table.time("a", 1) >= table.time("a", 0)
+
+    def test_alpha_validated(self, prior):
+        with pytest.raises(ConfigurationError):
+            EwmaAverageEstimator(prior, alpha=0.0)
+
+
+class TestCompiler:
+    def test_compile_produces_working_controller(self, encoder_system):
+        application = compile_application(encoder_system, body_length=9)
+        controller = application.controller()
+        result = controller.run_cycle(
+            lambda a, q: encoder_system.average_times.time(a, q)
+        )
+        assert len(result.qualities) == 54
+        assert result.degraded_steps == 0
+
+    def test_overheads_within_paper_band(self, encoder_system):
+        application = compile_application(encoder_system, body_length=9)
+        report = application.overheads
+        assert 0 < report.code_ratio <= 0.03
+        assert 0 < report.memory_ratio <= 0.01
+        assert 0 < report.runtime_ratio < 0.015
+
+    def test_infeasible_system_rejected(self, chain_system):
+        tight = chain_system.with_uniform_deadline(1.0)
+        from repro.errors import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            compile_application(tight)
+
+
+class TestCompressedTables:
+    def test_compression_roundtrip_exact(self, encoder_system):
+        tables = ControllerTables.from_system(encoder_system)
+        compressed = CompressedPeriodicTables.from_tables(tables, body_length=9)
+        for position in range(len(tables.schedule)):
+            for q in encoder_system.quality_set:
+                column = tables.qualities.index(q)
+                assert compressed.average_bound_at(position, q) == (
+                    tables.average_bound[position][column]
+                )
+                assert compressed.worst_bound_at(position, q) == (
+                    tables.worst_bound[position][column]
+                )
+                assert compressed.combined_bound_at(position, q) == (
+                    tables.combined_bound[position][column]
+                )
+
+    def test_compression_shrinks_footprint(self, encoder_system):
+        tables = ControllerTables.from_system(encoder_system)
+        compressed = CompressedPeriodicTables.from_tables(tables, body_length=9)
+        assert compressed.memory_bytes() < tables.memory_bytes()
+
+    def test_footprint_independent_of_iterations(self):
+        small = macroblock_application(4).system(budget=1e9)
+        large = macroblock_application(12).system(budget=1e9)
+        c_small = CompressedPeriodicTables.from_tables(
+            ControllerTables.from_system(small), 9
+        )
+        c_large = CompressedPeriodicTables.from_tables(
+            ControllerTables.from_system(large), 9
+        )
+        assert c_small.memory_bytes() == c_large.memory_bytes()
+
+    def test_non_dividing_body_length_rejected(self, encoder_system):
+        tables = ControllerTables.from_system(encoder_system)
+        with pytest.raises(ConfigurationError):
+            CompressedPeriodicTables.from_tables(tables, body_length=7)
+
+    def test_non_periodic_tables_rejected(self):
+        """A non-cyclic system's bounds are not affine in any 'iteration'."""
+        system = build_system(
+            edges=[],
+            actions=["a", "b", "c", "d"],
+            quality_count=2,
+            av_entries={"a": [1.0, 2.0], "b": [7.0, 9.0], "c": [2.0, 30.0], "d": 1.0},
+            wc_entries={"a": [2.0, 4.0], "b": [9.0, 12.0], "c": [4.0, 60.0], "d": 2.0},
+            budget=200.0,
+        )
+        tables = ControllerTables.from_system(system)
+        with pytest.raises(ConfigurationError):
+            CompressedPeriodicTables.from_tables(tables, body_length=1)
+
+
+class TestCodegen:
+    def test_generated_c_is_structurally_sound(self, encoder_system):
+        application = compile_application(encoder_system, body_length=9)
+        source = generate_c_controller(application)
+        assert source.count("{") == source.count("}")
+        assert "qos_next_quality" in source
+        assert "qos_run_cycle" in source
+        assert "int32_t qos_slack_av" in source
+        assert "int32_t qos_slack_wc" in source
+        assert f"#define QOS_N_ACTIONS {9 * 6}" in source
+        # every base action gets a prototype
+        assert "extern void action_Motion_Estimate(int quality);" in source
+
+    def test_int32_clamping(self, encoder_system):
+        application = compile_application(encoder_system, body_length=9)
+        source = generate_c_controller(application)
+        for token in source.split():
+            token = token.strip(",;{}")
+            if token.lstrip("-").isdigit():
+                assert abs(int(token)) <= 2**31 - 1

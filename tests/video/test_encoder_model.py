@@ -1,0 +1,86 @@
+"""Tests for repro.video.encoder_model: the analytic frame encoder."""
+
+import numpy as np
+import pytest
+
+from repro.video.content import FrameContent
+from repro.video.encoder_model import AnalyticEncoder, FrameOutcome
+from repro.video.ratecontrol import VirtualBufferRateController
+
+
+def frame(index=0, motion=0.4, iframe=False):
+    return FrameContent(
+        index=index,
+        sequence=0,
+        frame_in_sequence=index,
+        is_scene_start=iframe,
+        motion_activity=motion,
+        texture_variance=400.0,
+    )
+
+
+@pytest.fixture
+def encoder():
+    return AnalyticEncoder(rng=np.random.default_rng(3), bits_noise=0.0)
+
+
+class TestEncodeFrame:
+    def test_outcome_fields(self, encoder):
+        outcome = encoder.encode_frame(frame(), qualities=3)
+        assert isinstance(outcome, FrameOutcome)
+        assert not outcome.skipped
+        assert outcome.mean_quality == 3.0
+        assert outcome.bits > 0
+        assert 12.0 < outcome.psnr < 50.0
+
+    def test_rate_controller_committed(self, encoder):
+        before = encoder.rate_controller.frames_committed
+        encoder.encode_frame(frame(), qualities=3)
+        assert encoder.rate_controller.frames_committed == before + 1
+
+    def test_per_macroblock_qualities_averaged(self, encoder):
+        outcome = encoder.encode_frame(frame(), qualities=np.array([2, 4, 6]))
+        assert outcome.mean_quality == 4.0
+
+    def test_bits_noise_perturbs_spending(self):
+        noisy = AnalyticEncoder(rng=np.random.default_rng(1), bits_noise=0.2)
+        outcomes = {noisy.encode_frame(frame(i), 3).bits for i in range(5)}
+        assert len(outcomes) == 5  # all different
+
+    def test_quality_improves_psnr(self, encoder):
+        low = encoder.encode_frame(frame(0), qualities=1)
+        high = encoder.encode_frame(frame(1), qualities=7)
+        assert high.psnr > low.psnr
+
+
+class TestSkipFrame:
+    def test_skip_outcome(self, encoder):
+        outcome = encoder.skip_frame(frame())
+        assert outcome.skipped
+        assert outcome.psnr < 25.0
+        assert np.isnan(outcome.mean_quality)
+
+    def test_skip_frees_bits_for_the_next_frame(self):
+        """The paper's observation behind Figs. 8/9."""
+        with_skip = AnalyticEncoder(
+            rate_controller=VirtualBufferRateController(),
+            rng=np.random.default_rng(0),
+            bits_noise=0.0,
+        )
+        without_skip = AnalyticEncoder(
+            rate_controller=VirtualBufferRateController(),
+            rng=np.random.default_rng(0),
+            bits_noise=0.0,
+        )
+        with_skip.skip_frame(frame(0))
+        without_skip.encode_frame(frame(0), 3)
+        after_skip = with_skip.encode_frame(frame(1), 3)
+        after_encode = without_skip.encode_frame(frame(1), 3)
+        assert after_skip.bits > after_encode.bits
+        assert after_skip.psnr > after_encode.psnr
+
+    def test_invalid_pixels_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            AnalyticEncoder(pixels=0)

@@ -1,0 +1,235 @@
+"""Tests for the pixel-level toy codec — and its agreement with the
+analytic rate-distortion model's monotonicities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.pixel.bits import (
+    estimate_block_bits,
+    estimate_frame_bits,
+    estimate_motion_bits,
+)
+from repro.video.pixel.codec import ToyVideoCodec
+from repro.video.pixel.dct import blockwise_dct, blockwise_idct
+from repro.video.pixel.motion import (
+    SEARCH_RANGES,
+    candidates_for_quality,
+    motion_compensate,
+    motion_search,
+)
+from repro.video.pixel.quant import dequantize, quantize, step_for_quantizer
+from repro.video.psnr import mse, psnr
+from repro.video.synthetic import SyntheticScene, generate_scene_frames, generate_video
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestPsnr:
+    def test_identical_frames_infinite(self):
+        frame = rng().integers(0, 255, (16, 16))
+        assert psnr(frame, frame) == float("inf")
+
+    def test_known_mse(self):
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 10.0)
+        assert mse(a, b) == 100.0
+        assert psnr(a, b) == pytest.approx(10 * np.log10(255**2 / 100.0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            mse(np.zeros((4, 4)), np.zeros((8, 8)))
+
+
+class TestDct:
+    def test_roundtrip_is_identity(self):
+        frame = rng().uniform(0, 255, (32, 32))
+        assert np.allclose(blockwise_idct(blockwise_dct(frame)), frame)
+
+    def test_constant_block_energy_in_dc(self):
+        frame = np.full((8, 8), 100.0)
+        coefficients = blockwise_dct(frame)
+        assert coefficients[0, 0] == pytest.approx(800.0)  # 100 * 8 (ortho)
+        assert np.allclose(coefficients.ravel()[1:], 0.0, atol=1e-9)
+
+    def test_parseval(self):
+        frame = rng(1).uniform(-50, 50, (16, 16))
+        coefficients = blockwise_dct(frame)
+        assert np.sum(frame**2) == pytest.approx(np.sum(coefficients**2))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            blockwise_dct(np.zeros((10, 10)))
+
+
+class TestQuant:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        values = rng(2).uniform(-100, 100, (8, 8))
+        step = 4.0
+        recovered = dequantize(quantize(values, step), step)
+        assert np.abs(recovered - values).max() <= step / 2 + 1e-9
+
+    def test_finer_step_means_lower_error(self):
+        values = rng(3).uniform(-100, 100, (8, 8))
+        fine = dequantize(quantize(values, 2.0), 2.0)
+        coarse = dequantize(quantize(values, 16.0), 16.0)
+        assert mse(values, fine) < mse(values, coarse)
+
+    def test_step_mapping(self):
+        assert step_for_quantizer(8) == 16.0
+        with pytest.raises(ConfigurationError):
+            step_for_quantizer(0)
+        with pytest.raises(ConfigurationError):
+            quantize(np.zeros((2, 2)), 0.0)
+
+
+class TestMotionSearch:
+    def test_recovers_pure_translation(self):
+        reference = rng(4).uniform(0, 255, (48, 48))
+        # current[y, x] = reference[y - 2, x + 3]: the best match for a
+        # current block sits at displacement (-2, +3) in the reference
+        current = np.roll(reference, (2, -3), axis=(0, 1))
+        vectors = motion_search(current, reference, quality=4)
+        interior = vectors[1:-1, 1:-1]
+        assert (interior[..., 0] == -2).all()
+        assert (interior[..., 1] == 3).all()
+
+    def test_zero_quality_searches_nothing(self):
+        reference = rng(5).uniform(0, 255, (32, 32))
+        current = np.roll(reference, 1, axis=0)
+        vectors = motion_search(current, reference, quality=0)
+        assert (vectors == 0).all()
+
+    def test_prediction_error_decreases_with_quality(self):
+        frames = generate_scene_frames(SyntheticScene(motion=0.7), 2, seed=9)
+        reference, current = (f.astype(float) for f in frames)
+        errors = []
+        for q in (0, 2, 4, 7):
+            vectors = motion_search(current, reference, q)
+            predicted = motion_compensate(reference, vectors)
+            errors.append(mse(current, predicted))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < errors[0]
+
+    def test_search_cost_grows_with_quality(self):
+        counts = [candidates_for_quality(q) for q in range(8)]
+        assert counts == sorted(counts)
+        assert counts[0] == 1
+        assert counts[7] == (2 * SEARCH_RANGES[7] + 1) ** 2
+
+    def test_compensation_uses_vectors(self):
+        reference = rng(6).uniform(0, 255, (32, 32))
+        vectors = np.zeros((2, 2, 2), dtype=np.int32)
+        assert np.array_equal(motion_compensate(reference, vectors), reference)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            motion_search(np.zeros((32, 32)), np.zeros((16, 16)), 1)
+        with pytest.raises(ConfigurationError):
+            motion_search(np.zeros((20, 20)), np.zeros((20, 20)), 1)
+
+
+class TestBits:
+    def test_zero_block_costs_only_overhead(self):
+        assert estimate_block_bits(np.zeros((8, 8), dtype=int)) == 2.0
+
+    def test_bits_grow_with_energy(self):
+        small = estimate_block_bits(np.ones((8, 8), dtype=int))
+        large = estimate_block_bits(np.full((8, 8), 100, dtype=int))
+        assert large > small
+
+    def test_frame_bits_sum_blocks(self):
+        levels = np.zeros((16, 16), dtype=int)
+        assert estimate_frame_bits(levels) == 4 * 2.0
+
+    def test_motion_bits(self):
+        assert estimate_motion_bits(np.zeros((2, 2, 2))) == 8.0  # 1 bit each
+
+
+class TestToyCodec:
+    @pytest.fixture(scope="class")
+    def frames(self):
+        return generate_scene_frames(SyntheticScene(motion=0.5, texture=0.5), 4, seed=3)
+
+    def test_first_frame_is_intra(self, frames):
+        codec = ToyVideoCodec()
+        encoded = codec.encode_frame(frames[0], quality=3)
+        assert encoded.is_iframe
+        assert encoded.motion_vectors is None
+
+    def test_p_frames_use_prediction(self, frames):
+        codec = ToyVideoCodec()
+        codec.encode_frame(frames[0], quality=3)
+        p_frame = codec.encode_frame(frames[1], quality=3)
+        assert not p_frame.is_iframe
+        assert p_frame.motion_vectors is not None
+
+    def test_reconstruction_quality_reasonable(self, frames):
+        codec = ToyVideoCodec(quantizer=6)
+        results = codec.encode_sequence(frames, qualities=4)
+        assert all(r.psnr > 28.0 for r in results)
+
+    def test_higher_quality_gives_higher_psnr_and_fewer_bits(self, frames):
+        """The analytic model's central monotonicity, on real pixels:
+        better motion search -> smaller residual -> better quality AND
+        cheaper residual coding at a fixed quantizer."""
+        low = ToyVideoCodec(quantizer=8).encode_sequence(frames, qualities=0)
+        high = ToyVideoCodec(quantizer=8).encode_sequence(frames, qualities=7)
+        low_p = [r for r in low if not r.is_iframe]
+        high_p = [r for r in high if not r.is_iframe]
+        assert np.mean([r.psnr for r in high_p]) > np.mean([r.psnr for r in low_p])
+        assert np.mean([r.bits for r in high_p]) < np.mean([r.bits for r in low_p])
+
+    def test_finer_quantizer_trades_bits_for_psnr(self, frames):
+        coarse = ToyVideoCodec(quantizer=16).encode_sequence(frames, qualities=4)
+        fine = ToyVideoCodec(quantizer=4).encode_sequence(frames, qualities=4)
+        assert np.mean([r.psnr for r in fine]) > np.mean([r.psnr for r in coarse])
+        assert np.mean([r.bits for r in fine]) > np.mean([r.bits for r in coarse])
+
+    def test_scene_starts_force_iframes(self, frames):
+        codec = ToyVideoCodec()
+        results = codec.encode_sequence(frames, qualities=3, scene_starts=[0, 2])
+        assert results[0].is_iframe and results[2].is_iframe
+        assert not results[1].is_iframe
+
+    def test_quality_count_mismatch_rejected(self, frames):
+        with pytest.raises(ConfigurationError):
+            ToyVideoCodec().encode_sequence(frames, qualities=[1, 2])
+
+    def test_reset(self, frames):
+        codec = ToyVideoCodec()
+        codec.encode_frame(frames[0], 3)
+        codec.reset()
+        assert codec.encode_frame(frames[1], 3).is_iframe
+
+
+class TestSynthetic:
+    def test_dimensions_and_dtype(self):
+        frames = generate_scene_frames(SyntheticScene(), 3, seed=1)
+        assert len(frames) == 3
+        assert frames[0].shape == (96, 96)
+        assert frames[0].dtype == np.uint8
+
+    def test_motion_parameter_moves_pixels(self):
+        calm = generate_scene_frames(SyntheticScene(motion=0.0), 2, seed=2)
+        wild = generate_scene_frames(SyntheticScene(motion=1.0), 2, seed=2)
+        calm_delta = mse(calm[0], calm[1])
+        wild_delta = mse(wild[0], wild[1])
+        assert wild_delta > calm_delta
+
+    def test_video_concatenates_scenes(self):
+        frames, starts = generate_video(
+            [SyntheticScene(motion=0.2), SyntheticScene(motion=0.8)], 3, seed=4
+        )
+        assert len(frames) == 6
+        assert starts == [0, 3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticScene(width=20)
+        with pytest.raises(ConfigurationError):
+            SyntheticScene(motion=2.0)
+        with pytest.raises(ConfigurationError):
+            generate_scene_frames(SyntheticScene(), 0)

@@ -1,0 +1,118 @@
+"""Tests for repro.video.ratecontrol and repro.video.buffering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.buffering import FrameBuffer
+from repro.video.ratecontrol import RateControlConfig, VirtualBufferRateController
+
+
+class TestRateControlConfig:
+    def test_target_bits_per_frame(self):
+        config = RateControlConfig(bitrate=1_100_000.0, fps=25.0)
+        assert config.target_bits_per_frame == 44_000.0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RateControlConfig(bitrate=0.0)
+        with pytest.raises(ConfigurationError):
+            RateControlConfig(reaction=0.0)
+        with pytest.raises(ConfigurationError):
+            RateControlConfig(min_allocation_fraction=2.0, max_allocation_fraction=1.0)
+
+
+class TestVirtualBufferRateController:
+    def test_nominal_allocation_equals_target(self):
+        controller = VirtualBufferRateController()
+        assert controller.allocate() == controller.target
+
+    def test_overspending_reduces_next_allocation(self):
+        controller = VirtualBufferRateController()
+        controller.commit(controller.target * 2)
+        assert controller.allocate() < controller.target
+
+    def test_underspending_raises_next_allocation(self):
+        controller = VirtualBufferRateController()
+        controller.commit(controller.target * 0.2)
+        assert controller.allocate() > controller.target
+
+    def test_skip_frees_almost_a_full_frame_of_bits(self):
+        controller = VirtualBufferRateController()
+        controller.commit_skip()
+        boost = controller.allocate() - controller.target
+        expected = controller.config.reaction * (
+            controller.target - controller.config.skip_flag_bits
+        )
+        assert boost == pytest.approx(expected)
+
+    def test_iframe_boost(self):
+        controller = VirtualBufferRateController()
+        assert controller.allocate(is_iframe=True) == pytest.approx(
+            2.0 * controller.target
+        )
+
+    def test_allocation_clamped(self):
+        controller = VirtualBufferRateController()
+        for _ in range(50):
+            controller.commit(controller.target * 3)  # massive overspend
+        assert controller.allocate() >= 0.3 * controller.target
+        for _ in range(100):
+            controller.commit_skip()
+        assert controller.allocate() <= 3.0 * controller.target
+
+    def test_long_run_converges_to_bitrate(self):
+        """Closed loop: spending what is allocated tracks the target rate."""
+        controller = VirtualBufferRateController()
+        for _ in range(500):
+            controller.commit(controller.allocate())
+        achieved = controller.achieved_bitrate()
+        assert achieved == pytest.approx(controller.config.bitrate, rel=0.02)
+
+    def test_negative_spend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualBufferRateController().commit(-1.0)
+
+
+class TestFrameBuffer:
+    def test_push_pop_fifo(self):
+        buffer = FrameBuffer(capacity=2)
+        assert buffer.try_push("f0")
+        assert buffer.try_push("f1")
+        assert buffer.pop() == "f0"
+        assert buffer.pop() == "f1"
+
+    def test_overflow_drops_and_counts(self):
+        buffer = FrameBuffer(capacity=1)
+        assert buffer.try_push("f0")
+        assert not buffer.try_push("f1")
+        assert buffer.dropped == 1
+        assert buffer.accepted == 1
+        assert len(buffer) == 1
+
+    def test_peek_does_not_remove(self):
+        buffer = FrameBuffer(capacity=1)
+        buffer.try_push("f0")
+        assert buffer.peek() == "f0"
+        assert len(buffer) == 1
+
+    def test_flags(self):
+        buffer = FrameBuffer(capacity=1)
+        assert buffer.empty and not buffer.full
+        buffer.try_push("x")
+        assert buffer.full and not buffer.empty
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            FrameBuffer(capacity=1).pop()
+        with pytest.raises(ConfigurationError):
+            FrameBuffer(capacity=1).peek()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            FrameBuffer(capacity=0)
+
+    def test_clear(self):
+        buffer = FrameBuffer(capacity=3)
+        buffer.try_push("a")
+        buffer.clear()
+        assert buffer.empty

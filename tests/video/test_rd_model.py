@@ -1,0 +1,135 @@
+"""Tests for repro.video.rd_model: PSNR monotonicities and bands."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.content import FrameContent
+from repro.video.rd_model import RateDistortionModel
+
+PIXELS = 720 * 576
+BITS = 44_000.0
+
+
+def frame(motion=0.4, texture=400.0, iframe=False, index=0):
+    return FrameContent(
+        index=index,
+        sequence=0,
+        frame_in_sequence=index,
+        is_scene_start=iframe,
+        motion_activity=motion,
+        texture_variance=texture,
+    )
+
+
+@pytest.fixture
+def model():
+    return RateDistortionModel()
+
+
+class TestMonotonicities:
+    def test_psnr_increases_with_quality(self, model):
+        psnrs = [model.encoded_psnr(frame(), q, BITS, PIXELS) for q in range(8)]
+        assert all(a < b for a, b in zip(psnrs, psnrs[1:]))
+
+    def test_quality_gain_saturates(self, model):
+        gains = [model.quality_gain(q) for q in range(8)]
+        first_step = gains[1] - gains[0]
+        last_step = gains[7] - gains[6]
+        assert first_step > last_step > 0
+
+    def test_psnr_increases_with_bits(self, model):
+        low = model.encoded_psnr(frame(), 3, BITS / 2, PIXELS)
+        high = model.encoded_psnr(frame(), 3, BITS * 2, PIXELS)
+        assert high > low
+
+    def test_psnr_decreases_with_motion(self, model):
+        calm = model.encoded_psnr(frame(motion=0.1), 3, BITS, PIXELS)
+        wild = model.encoded_psnr(frame(motion=0.9), 3, BITS, PIXELS)
+        assert calm > wild
+
+    def test_psnr_decreases_with_texture(self, model):
+        flat = model.encoded_psnr(frame(texture=200.0), 3, BITS, PIXELS)
+        busy = model.encoded_psnr(frame(texture=600.0), 3, BITS, PIXELS)
+        assert flat > busy
+
+    def test_quality_matters_more_at_high_motion(self, model):
+        """MC efficiency degrades with motion, so q buys more there."""
+        calm_gap = (
+            model.encoded_psnr(frame(motion=0.1), 7, BITS, PIXELS)
+            - model.encoded_psnr(frame(motion=0.1), 1, BITS, PIXELS)
+        )
+        wild_gap = (
+            model.encoded_psnr(frame(motion=0.9), 7, BITS, PIXELS)
+            - model.encoded_psnr(frame(motion=0.9), 1, BITS, PIXELS)
+        )
+        assert wild_gap > 0
+        assert calm_gap > 0
+
+
+class TestBands:
+    def test_operating_point_in_paper_band(self, model):
+        """q3 at the paper's bitrate lands in the 30-44 dB band of Fig. 8."""
+        for motion in (0.2, 0.4, 0.8):
+            psnr = model.encoded_psnr(frame(motion=motion), 3, BITS, PIXELS)
+            assert 30.0 < psnr < 44.0
+
+    def test_skip_psnr_below_paper_bound(self, model):
+        """Skipped frames score below 25 dB (paper section 3)."""
+        for motion in (0.1, 0.5, 0.9):
+            for texture in (300.0, 560.0):
+                psnr = model.skip_psnr(frame(motion=motion, texture=texture))
+                assert psnr < 25.0
+
+    def test_skip_psnr_decreases_with_motion(self, model):
+        assert model.skip_psnr(frame(motion=0.2)) > model.skip_psnr(frame(motion=0.9))
+
+    def test_encoded_always_beats_skip(self, model):
+        for q in range(8):
+            assert (
+                model.encoded_psnr(frame(), q, BITS, PIXELS)
+                > model.skip_psnr(frame())
+            )
+
+    def test_psnr_clamped(self, model):
+        absurd = model.encoded_psnr(frame(texture=1e-9), 7, BITS * 100, PIXELS)
+        assert absurd <= model.max_psnr
+
+
+class TestIntraPath:
+    def test_iframe_ignores_me_quality(self, model):
+        low = model.encoded_psnr(frame(iframe=True), 0, BITS, PIXELS)
+        high = model.encoded_psnr(frame(iframe=True), 7, BITS, PIXELS)
+        assert low == high
+
+    def test_intra_residual_fraction_applied(self, model):
+        content = frame(iframe=True, texture=400.0)
+        assert model.residual_variance(content, 3) == pytest.approx(
+            400.0 * model.intra_residual_fraction
+        )
+
+
+class TestHelpers:
+    def test_per_macroblock_quality_array(self, model):
+        mixed = model.encoded_psnr(frame(), np.array([1, 7] * 100), BITS, PIXELS)
+        uniform_low = model.encoded_psnr(frame(), 1, BITS, PIXELS)
+        uniform_high = model.encoded_psnr(frame(), 7, BITS, PIXELS)
+        assert uniform_low < mixed < uniform_high
+
+    def test_quality_for_target_psnr(self, model):
+        target = model.encoded_psnr(frame(), 4, BITS, PIXELS)
+        q = model.quality_for_target_psnr(frame(), BITS, PIXELS, target - 0.01)
+        assert q is not None and q <= 4
+
+    def test_quality_for_unreachable_target(self, model):
+        assert model.quality_for_target_psnr(frame(), BITS, PIXELS, 49.9) is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RateDistortionModel(rate_knee_bpp=0.0)
+        with pytest.raises(ConfigurationError):
+            RateDistortionModel(mc_efficiency_base=0.0)
+
+    def test_rate_factor_rejects_zero_pixels(self, model):
+        with pytest.raises(ConfigurationError):
+            model.rate_factor(BITS, 0)
