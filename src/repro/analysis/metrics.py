@@ -125,6 +125,25 @@ def utilization_statistics(result: RunResult) -> UtilizationStatistics:
     )
 
 
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` over ``values``.
+
+    1.0 when every stream gets the same share; 1/n when one stream gets
+    everything.  NaNs (streams that never delivered a frame) count as
+    zero allocation — maximal unfairness, not missing data.  Used by the
+    fleet layer to compare capacity arbiters (quality-fair arbitration
+    should push this toward 1 on heterogeneous mixes).
+    """
+    cleaned = [0.0 if not np.isfinite(v) else float(v) for v in values]
+    if not cleaned:
+        return float("nan")
+    total = sum(cleaned)
+    squares = sum(v * v for v in cleaned)
+    if squares == 0.0:
+        return 1.0 if total == 0.0 else 0.0
+    return total * total / (len(cleaned) * squares)
+
+
 def iframe_indices(result: RunResult) -> list[int]:
     """Frames encoded as I-frames (sequence changes)."""
     return [f.index for f in result.frames if f.is_iframe]

@@ -36,8 +36,14 @@ def comparison_table(results: Sequence[RunResult]) -> str:
     rows = [[_format(result.summary()[key], spec) for _, key, spec in columns]
             for result in results]
     headers = [name for name, _, _ in columns]
+    return _aligned_table(headers, rows)
+
+
+def _aligned_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Column-aligned plain-text table (shared renderer)."""
     widths = [
-        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))
+        max([len(h)] + [len(row[i]) for row in rows])
+        for i, h in enumerate(headers)
     ]
     out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
     out.append("  ".join("-" * w for w in widths))
@@ -66,3 +72,49 @@ def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> 
 def describe_runs(runs: Mapping[str, RunResult]) -> str:
     """Comparison table over a named run dictionary."""
     return comparison_table(list(runs.values()))
+
+
+def fleet_table(results: Sequence) -> str:
+    """Side-by-side serving metrics for several fleet runs.
+
+    ``results`` are :class:`repro.streams.fleet.FleetResult` objects
+    (typically one per arbiter over the same scenario).
+    """
+    columns = (
+        ("arbiter", "arbiter", "s"),
+        ("served", "served", "d"),
+        ("rej", "rejected", "d"),
+        ("accept", "acceptance_ratio", ".3f"),
+        ("peak", "peak_concurrency", "d"),
+        ("frames", "frames", "d"),
+        ("skips", "skips", "d"),
+        ("misses", "deadline_misses", "d"),
+        ("q", "mean_quality", ".2f"),
+        ("PSNR", "mean_psnr", ".2f"),
+        ("fair(q)", "fairness_quality", ".3f"),
+        ("fair(PSNR)", "fairness_psnr", ".3f"),
+    )
+    summaries = [result.summary() for result in results]
+    rows = [[_format(summary[key], spec) for _, key, spec in columns]
+            for summary in summaries]
+    headers = [name for name, _, _ in columns]
+    return _aligned_table(headers, rows)
+
+
+def fleet_stream_table(result) -> str:
+    """Per-stream breakdown of one fleet run (label, rounds, quality)."""
+    rows = []
+    for outcome in result.streams:
+        run = outcome.result
+        rows.append([
+            outcome.spec.name,
+            outcome.admitted_round,
+            outcome.finished_round,
+            len(run),
+            run.skip_count,
+            f"{run.mean_quality():.2f}",
+            f"{run.mean_psnr():.2f}",
+        ])
+    return markdown_table(
+        ["stream", "admitted", "finished", "frames", "skips", "q", "PSNR"], rows
+    )

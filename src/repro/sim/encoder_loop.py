@@ -28,6 +28,7 @@ do not feed back into cycles, so the split is exact.
 from __future__ import annotations
 
 import math
+import zlib
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
@@ -228,7 +229,11 @@ class EncoderSimulation:
         self._me_ceilings = [MOTION_ESTIMATE_TIMES[q][1] for q in self._levels]
 
     def _rng(self, salt: str) -> np.random.Generator:
-        digest = abs(hash((self.config.seed, salt))) % (2**31)
+        # zlib.crc32 (not hash()) so the stream is stable across
+        # processes: hash() of a str is randomized per interpreter
+        # (PYTHONHASHSEED), which made runs irreproducible between
+        # pytest invocations and would break fleet determinism.
+        digest = zlib.crc32(salt.encode("utf-8")) % (2**31)
         return np.random.default_rng(np.random.SeedSequence([self.config.seed, digest]))
 
     # ------------------------------------------------------------------

@@ -3,6 +3,28 @@
 Thin, memoizing wrappers that build an :class:`EncoderSimulation` and
 execute the runs the figures need.  All benches and examples go through
 these entry points so results are consistent across the suite.
+
+Caching contract (important for fleet / multi-stream use)
+---------------------------------------------------------
+
+The ``lru_cache`` wrappers below return **shared** objects:
+
+* :func:`simulation_for` hands out one :class:`EncoderSimulation` per
+  config.  Its ``run_*`` methods mutate per-run instance state
+  (``_timing_qualities``), so a shared simulation must not execute two
+  ``run_*`` calls concurrently.  The *pure* per-frame primitives
+  (``_draw_frame_times``, ``_encode_controlled_frame``) only read the
+  pre-built tables and are safe to call from many stream sessions
+  interleaved — this is what :mod:`repro.streams.session` relies on to
+  amortize table construction across a fleet.
+* :func:`run_controlled` / :func:`run_constant` return shared, mutable
+  :class:`RunResult` objects.  Treat them as **read-only**; never append
+  to ``result.frames`` or ``replace``-in-place.  Code that needs a
+  private copy should deep-copy, or call :func:`reset_caches` first.
+
+:func:`reset_caches` drops all three caches — tests and long-lived
+fleet processes call it to release memory and to guarantee isolation
+between experiments.
 """
 
 from __future__ import annotations
@@ -13,10 +35,20 @@ from repro.sim.encoder_loop import EncoderSimulation, SimulationConfig
 from repro.sim.results import RunResult
 
 
-@lru_cache(maxsize=8)
+@lru_cache(maxsize=32)
 def _simulation(config: SimulationConfig) -> EncoderSimulation:
     """Cache simulations per config: table construction is the setup cost."""
     return EncoderSimulation(config)
+
+
+def simulation_for(config: SimulationConfig) -> EncoderSimulation:
+    """The shared simulation for ``config`` (see the caching contract above).
+
+    Stream sessions use this to share controller tables between
+    same-config streams; only the pure per-frame primitives may be
+    called on the returned object when several users hold it at once.
+    """
+    return _simulation(config)
 
 
 @lru_cache(maxsize=64)
@@ -31,6 +63,17 @@ def _controlled_cached(
 @lru_cache(maxsize=64)
 def _constant_cached(config: SimulationConfig, quality: int) -> RunResult:
     return _simulation(config).run_constant(quality)
+
+
+def reset_caches() -> None:
+    """Drop every memoized simulation and run result.
+
+    After this call previously returned ``RunResult``/``EncoderSimulation``
+    objects stay valid but are no longer shared with future calls.
+    """
+    _controlled_cached.cache_clear()
+    _constant_cached.cache_clear()
+    _simulation.cache_clear()
 
 
 def run_controlled(

@@ -1,0 +1,214 @@
+"""Admission control: accept / queue / reject arriving streams.
+
+Before a stream joins the fleet the admission controller asks the
+paper's own schedulability machinery whether the stream could meet its
+cycle deadline on the capacity that is still uncommitted.  The check is
+Definition 2.2 applied at the *lowest* quality level: the qmin schedule
+is the cheapest feasible service the controller can ever fall back to,
+so if even qmin does not fit, no arbiter can save the stream and
+admitting it would only push already-admitted streams into overload
+(the congestion coupling of Alaya et al., "A New Approach to Manage QoS
+in Distributed Multimedia Systems").
+
+Decisions:
+
+* ``ACCEPTED`` — qmin schedule feasible on the remaining capacity; the
+  stream's qmin demand is committed until it departs.
+* ``QUEUED``  — infeasible right now but feasible on an empty system;
+  parked until departures free enough capacity.
+* ``REJECTED`` — infeasible even with the whole capacity to itself (or
+  the wait queue is full).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.feasibility import FeasibilityReport, check_feasibility
+from repro.errors import ConfigurationError
+from repro.sim.encoder_loop import SimulationConfig
+from repro.sim.runner import simulation_for
+
+
+class AdmissionDecision(enum.Enum):
+    ACCEPTED = "accepted"
+    QUEUED = "queued"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class AdmissionVerdict:
+    """Decision plus the feasibility evidence it was based on."""
+
+    decision: AdmissionDecision
+    demand: float
+    remaining_before: float
+    report: FeasibilityReport | None
+
+
+@lru_cache(maxsize=256)
+def qmin_demand(config: SimulationConfig, mode: str = "average") -> float:
+    """Cycles per period the stream needs at its cheapest quality.
+
+    ``mode="average"`` uses the expected-time tables (statistical
+    admission, the default); ``"worst"`` uses the worst-case tables
+    (hard admission — overrun-proof but pessimistic).  Memoized: the
+    sum over the schedule is deterministic per (config, mode) and the
+    fleet runner asks for it on every offer and release.
+    """
+    simulation = simulation_for(config)
+    system = simulation.system
+    times = system.average_times if mode == "average" else system.worst_times
+    qmin = system.qmin
+    return sum(times.time(action, qmin) for action in simulation.tables.schedule)
+
+
+class AdmissionController:
+    """Feasibility-gated admission over a shared capacity budget.
+
+    Parameters
+    ----------
+    capacity:
+        Total shared cycles per scheduling round.
+    mode:
+        ``"average"`` or ``"worst"`` — which timing tables the
+        feasibility check uses (see :func:`qmin_demand`).
+    utilization_cap:
+        Fraction of capacity admission may commit (headroom for the
+        arbiter to lift quality above qmin).
+    queue_limit:
+        Maximum parked streams (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        mode: str = "average",
+        utilization_cap: float = 1.0,
+        queue_limit: int | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if mode not in ("average", "worst"):
+            raise ConfigurationError(f"unknown admission mode {mode!r}")
+        if not 0.0 < utilization_cap <= 1.0:
+            raise ConfigurationError("utilization_cap must be in (0, 1]")
+        if queue_limit is not None and queue_limit < 0:
+            raise ConfigurationError("queue_limit must be >= 0")
+        self.capacity = capacity
+        self.mode = mode
+        self.utilization_cap = utilization_cap
+        self.queue_limit = queue_limit
+        self.committed = 0.0
+        self.queue: deque = deque()
+        self.accepted_count = 0
+        self.rejected_count = 0
+        self.queued_count = 0
+        # capacity only frees on release(); until then re-checking the
+        # queue head every fleet round would be wasted schedule walks
+        self._freed_since_retry = False
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+
+    @property
+    def budget(self) -> float:
+        """Cycles per round admission is allowed to commit."""
+        return self.capacity * self.utilization_cap
+
+    @property
+    def remaining(self) -> float:
+        return self.budget - self.committed
+
+    def feasibility(
+        self, config: SimulationConfig, available: float | None = None
+    ) -> FeasibilityReport:
+        """Definition 2.2 for the stream's qmin schedule on ``available``.
+
+        The schedule's only deadline is the uniform cycle deadline, so
+        every action's deadline is the available per-round budget: the
+        stream fits iff the worst slack is non-negative.
+        """
+        if available is None:
+            available = self.remaining
+        simulation = simulation_for(config)
+        system = simulation.system
+        times = (
+            system.average_times if self.mode == "average" else system.worst_times
+        )
+        qmin = system.qmin
+        return check_feasibility(
+            simulation.tables.schedule,
+            time_of=lambda action: times.time(action, qmin),
+            deadline_of=lambda action: available,
+        )
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def offer(self, stream) -> AdmissionVerdict:
+        """Decide on an arriving stream (anything with a ``.config``)."""
+        config = stream.config if hasattr(stream, "config") else stream
+        demand = qmin_demand(config, self.mode)
+        remaining = self.remaining
+        report = self.feasibility(config, remaining)
+        if report.feasible:
+            self.committed += demand
+            self.accepted_count += 1
+            return AdmissionVerdict(
+                AdmissionDecision.ACCEPTED, demand, remaining, report
+            )
+        alone = self.feasibility(config, self.budget)
+        queue_full = (
+            self.queue_limit is not None and len(self.queue) >= self.queue_limit
+        )
+        if alone.feasible and not queue_full:
+            self.queue.append(stream)
+            self.queued_count += 1
+            return AdmissionVerdict(
+                AdmissionDecision.QUEUED, demand, remaining, report
+            )
+        self.rejected_count += 1
+        return AdmissionVerdict(
+            AdmissionDecision.REJECTED, demand, remaining, report
+        )
+
+    def release(self, config: SimulationConfig) -> None:
+        """Return a departing stream's committed demand to the pool."""
+        self.committed = max(0.0, self.committed - qmin_demand(config, self.mode))
+        self._freed_since_retry = True
+
+    def admit_queued(self) -> list:
+        """Pop every queued stream that now fits (FIFO, head-of-line).
+
+        Head-of-line blocking is deliberate: skipping over a large
+        queued stream in favour of later small ones would starve it.
+        Cheap no-op unless a departure freed capacity since the last
+        retry.
+        """
+        if not self._freed_since_retry:
+            return []
+        self._freed_since_retry = False
+        admitted = []
+        while self.queue:
+            head = self.queue[0]
+            config = head.config if hasattr(head, "config") else head
+            report = self.feasibility(config, self.remaining)
+            if not report.feasible:
+                break
+            self.queue.popleft()
+            self.committed += qmin_demand(config, self.mode)
+            self.accepted_count += 1
+            admitted.append(head)
+        return admitted
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Accepted over finally-decided offers (queued are undecided)."""
+        decided = self.accepted_count + self.rejected_count
+        return self.accepted_count / decided if decided else 1.0

@@ -1,0 +1,303 @@
+"""The fleet runner: many QoS-controlled streams on one shared capacity.
+
+:class:`FleetRunner` drives a :class:`~repro.streams.scenarios.Scenario`
+round by round:
+
+1. streams arriving this round pass through admission control
+   (accept / queue / reject against the remaining feasible capacity);
+2. departures may have freed capacity, so the wait queue is re-examined;
+3. the capacity arbiter partitions the shared budget across the active
+   sessions from their per-round requests (demand, weight, recent
+   quality, backlog);
+4. every active session advances **one scheduling round** under its
+   grant — round-robin interleaving, deterministic order;
+5. finished sessions retire, their committed capacity is released.
+
+The run is fully deterministic for a fixed scenario: sessions draw from
+seeded generators and the loop orders everything by arrival.  The
+result aggregates per-stream :class:`~repro.sim.results.RunResult`s
+into fleet-level serving metrics — acceptance ratio, per-stream mean
+quality/PSNR, Jain fairness, skip and deadline-miss totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import jain_fairness_index
+from repro.errors import ConfigurationError
+from repro.sim.results import RunResult
+from repro.streams.admission import AdmissionController, AdmissionDecision
+from repro.streams.arbiter import CapacityArbiter, CapacityRequest
+from repro.streams.scenarios import Scenario, StreamSpec
+from repro.streams.session import StreamSession
+
+
+@dataclass(frozen=True)
+class StreamOutcome:
+    """One served stream's spec, its run, and when it was active."""
+
+    spec: StreamSpec
+    result: RunResult
+    admitted_round: int
+    finished_round: int
+
+    @property
+    def rounds_active(self) -> int:
+        return self.finished_round - self.admitted_round + 1
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced."""
+
+    scenario_name: str
+    arbiter_name: str
+    capacity: float
+    rounds: int
+    streams: list[StreamOutcome] = field(default_factory=list)
+    rejected: list[StreamSpec] = field(default_factory=list)
+    peak_concurrency: int = 0
+
+    # ------------------------------------------------------------------
+    # per-stream series
+    # ------------------------------------------------------------------
+
+    def per_stream_quality(self) -> list[float]:
+        """Mean delivered quality per served stream (nan if all skipped)."""
+        return [o.result.mean_quality() for o in self.streams]
+
+    def per_stream_psnr(self) -> list[float]:
+        return [o.result.mean_psnr() for o in self.streams]
+
+    def per_stream_skip_ratio(self) -> list[float]:
+        return [
+            o.result.skip_count / len(o.result) if len(o.result) else math.nan
+            for o in self.streams
+        ]
+
+    # ------------------------------------------------------------------
+    # fleet aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def served_count(self) -> int:
+        return len(self.streams)
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        offered = self.served_count + self.rejected_count
+        return self.served_count / offered if offered else 1.0
+
+    def fairness_quality(self) -> float:
+        """Jain index over per-stream mean quality — the headline metric."""
+        return jain_fairness_index(self.per_stream_quality())
+
+    def fairness_psnr(self) -> float:
+        return jain_fairness_index(self.per_stream_psnr())
+
+    def mean_quality(self) -> float:
+        values = [v for v in self.per_stream_quality() if np.isfinite(v)]
+        return float(np.mean(values)) if values else math.nan
+
+    def mean_psnr(self) -> float:
+        values = [v for v in self.per_stream_psnr() if np.isfinite(v)]
+        return float(np.mean(values)) if values else math.nan
+
+    def total_skips(self) -> int:
+        return sum(o.result.skip_count for o in self.streams)
+
+    def total_frames(self) -> int:
+        return sum(len(o.result) for o in self.streams)
+
+    def total_deadline_misses(self) -> int:
+        return sum(o.result.deadline_miss_count for o in self.streams)
+
+    def summary(self) -> dict:
+        """Headline numbers for reports and assertions."""
+        return {
+            "scenario": self.scenario_name,
+            "arbiter": self.arbiter_name,
+            "capacity": self.capacity,
+            "rounds": self.rounds,
+            "served": self.served_count,
+            "rejected": self.rejected_count,
+            "acceptance_ratio": round(self.acceptance_ratio, 4),
+            "peak_concurrency": self.peak_concurrency,
+            "frames": self.total_frames(),
+            "skips": self.total_skips(),
+            "deadline_misses": self.total_deadline_misses(),
+            "mean_quality": round(self.mean_quality(), 3),
+            "mean_psnr": round(self.mean_psnr(), 3),
+            "fairness_quality": round(self.fairness_quality(), 4),
+            "fairness_psnr": round(self.fairness_psnr(), 4),
+        }
+
+
+class FleetRunner:
+    """Round-robin concurrent serving of a stream scenario.
+
+    Parameters
+    ----------
+    capacity:
+        Shared processor cycles available per scheduling round.
+    arbiter:
+        A :class:`~repro.streams.arbiter.CapacityArbiter`.
+    admission:
+        Optional :class:`~repro.streams.admission.AdmissionController`.
+        ``None`` admits everything (pure arbitration experiments).
+        Its capacity should normally equal the runner's.
+    constraint_mode / granularity:
+        Controller settings applied to every session.
+    max_rounds:
+        Safety valve against runaway scenarios.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        arbiter: CapacityArbiter,
+        admission: AdmissionController | None = None,
+        constraint_mode: str = "both",
+        granularity: int = 1,
+        max_rounds: int = 100_000,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        self.capacity = capacity
+        self.arbiter = arbiter
+        self.admission = admission
+        self.constraint_mode = constraint_mode
+        self.granularity = granularity
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+
+    def _session(self, spec: StreamSpec) -> StreamSession:
+        return StreamSession(
+            stream_id=spec.name,
+            config=spec.config,
+            constraint_mode=self.constraint_mode,
+            granularity=self.granularity,
+            weight=spec.weight,
+        )
+
+    def run(self, scenario: Scenario) -> FleetResult:
+        """Serve the whole scenario to completion."""
+        result = FleetResult(
+            scenario_name=scenario.name,
+            arbiter_name=getattr(self.arbiter, "name", type(self.arbiter).__name__),
+            capacity=self.capacity,
+            rounds=0,
+        )
+        active: list[StreamSession] = []
+        spec_of: dict[str, StreamSpec] = {}
+        admitted_round: dict[str, int] = {}
+        round_index = 0
+        while (
+            round_index <= scenario.last_arrival_round
+            or active
+            or (self.admission is not None and self.admission.queue)
+        ):
+            if round_index >= self.max_rounds:
+                raise ConfigurationError(
+                    f"fleet exceeded max_rounds={self.max_rounds}"
+                )
+            # 1. arrivals through admission
+            for spec in scenario.arrivals_at(round_index):
+                if self.admission is None:
+                    self._admit(spec, round_index, active, spec_of, admitted_round)
+                    continue
+                verdict = self.admission.offer(spec)
+                if verdict.decision is AdmissionDecision.ACCEPTED:
+                    self._admit(spec, round_index, active, spec_of, admitted_round)
+                elif verdict.decision is AdmissionDecision.REJECTED:
+                    result.rejected.append(spec)
+                # QUEUED specs wait inside the admission controller
+            # 2. departures last round may have freed capacity
+            if self.admission is not None:
+                for spec in self.admission.admit_queued():
+                    self._admit(spec, round_index, active, spec_of, admitted_round)
+            # 3 + 4. arbitrate and step
+            if active:
+                result.peak_concurrency = max(result.peak_concurrency, len(active))
+                requests = [
+                    CapacityRequest(
+                        stream_id=s.stream_id,
+                        demand=s.demand,
+                        weight=s.weight,
+                        recent_quality=s.normalized_recent_quality(),
+                        backlog=s.backlog,
+                    )
+                    for s in active
+                ]
+                allocations = self.arbiter.allocate(requests, self.capacity)
+                still_active: list[StreamSession] = []
+                for session in active:
+                    step = session.step(allocations[session.stream_id])
+                    if step.finished:
+                        spec = spec_of.pop(session.stream_id)
+                        result.streams.append(
+                            StreamOutcome(
+                                spec=spec,
+                                result=session.result(),
+                                admitted_round=admitted_round.pop(
+                                    session.stream_id
+                                ),
+                                finished_round=round_index,
+                            )
+                        )
+                        if self.admission is not None:
+                            self.admission.release(spec.config)
+                    else:
+                        still_active.append(session)
+                active = still_active
+            round_index += 1
+        result.rounds = round_index
+        return result
+
+    def _admit(
+        self,
+        spec: StreamSpec,
+        round_index: int,
+        active: list[StreamSession],
+        spec_of: dict[str, StreamSpec],
+        admitted_round: dict[str, int],
+    ) -> None:
+        if spec.name in spec_of:
+            raise ConfigurationError(f"duplicate stream name {spec.name!r}")
+        session = self._session(spec)
+        active.append(session)
+        spec_of[spec.name] = spec
+        admitted_round[spec.name] = round_index
+
+
+def compare_arbiters(
+    scenario: Scenario,
+    capacity: float,
+    arbiters: list[CapacityArbiter],
+    admission_factory=None,
+    **runner_kwargs,
+) -> dict[str, FleetResult]:
+    """Run one scenario under several arbiters (fresh admission each).
+
+    The bench and the fairness tests use this to put equal-share and
+    quality-fair arbitration side by side on identical workloads.
+    """
+    results: dict[str, FleetResult] = {}
+    for arbiter in arbiters:
+        admission = admission_factory(capacity) if admission_factory else None
+        runner = FleetRunner(
+            capacity=capacity, arbiter=arbiter, admission=admission, **runner_kwargs
+        )
+        results[arbiter.name] = runner.run(scenario)
+    return results

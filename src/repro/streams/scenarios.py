@@ -1,0 +1,203 @@
+"""Workload generators for the multi-stream serving layer.
+
+A scenario is a plain list of :class:`StreamSpec` — which stream
+arrives at which scheduling round — so fleets are trivially replayable
+and deterministic under a fixed seed.  All generators build on the
+scaled configurations of :mod:`repro.experiments.configs`: a scale-S
+stream has ``1620 / S`` macroblocks and period ``320e6 / S``, i.e. the
+paper's dynamics at 1/S the cost, so fleets of dozens of streams stay
+testable.
+
+Generators:
+
+* :func:`steady_fleet` — n identical-shape streams, all present from
+  round 0 (the capacity-scaling baseline);
+* :func:`heterogeneous_mix` — streams cycling through different scales
+  (heavier and lighter periods) and content seeds, the mix on which
+  demand-blind arbitration is measurably unfair;
+* :func:`poisson_churn` — Poisson arrivals with geometric clip lengths
+  (arrival/departure churn);
+* :func:`flash_crowd` — a steady base fleet plus a burst of
+  simultaneous arrivals at one round (admission-control stress).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import scaled_config
+from repro.sim.encoder_loop import SimulationConfig
+
+#: Scales used by the heterogeneous mix; all divide 1620.  Smaller
+#: scale = heavier stream (more macroblocks, longer period).
+MIX_SCALES = (15, 20, 27)
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One stream's arrival into the fleet."""
+
+    name: str
+    arrival_round: int
+    config: SimulationConfig
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_round < 0:
+            raise ConfigurationError("arrival_round must be >= 0")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, replayable stream-arrival schedule."""
+
+    name: str
+    specs: tuple[StreamSpec, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def arrivals_at(self, round_index: int) -> list[StreamSpec]:
+        return [s for s in self.specs if s.arrival_round == round_index]
+
+    @property
+    def last_arrival_round(self) -> int:
+        return max((s.arrival_round for s in self.specs), default=0)
+
+    def total_demand(self) -> float:
+        """Sum of per-round dedicated-speed demands (cycles)."""
+        return sum(s.config.period for s in self.specs)
+
+
+def steady_fleet(
+    count: int,
+    frames: int = 30,
+    scale: int = 20,
+    seed: int = 7,
+) -> Scenario:
+    """``count`` same-shape streams with distinct content, all at round 0."""
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    specs = tuple(
+        StreamSpec(
+            name=f"steady-{i}",
+            arrival_round=0,
+            config=scaled_config(scale=scale, seed=seed + i, frames=frames),
+        )
+        for i in range(count)
+    )
+    return Scenario(name=f"steady[{count}]", specs=specs)
+
+
+def heterogeneous_mix(
+    count: int,
+    frames: int = 30,
+    seed: int = 7,
+    scales: tuple[int, ...] = MIX_SCALES,
+    weights: tuple[float, ...] | None = None,
+) -> Scenario:
+    """Streams cycling through ``scales`` — heavy and light periods mixed.
+
+    Demand-blind (equal-share) arbitration starves the heavy streams on
+    this mix; quality-aware arbitration is expected to close the gap.
+    """
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    specs = []
+    for i in range(count):
+        scale = scales[i % len(scales)]
+        weight = weights[i % len(weights)] if weights else 1.0
+        specs.append(
+            StreamSpec(
+                name=f"mix-{i}-s{scale}",
+                arrival_round=0,
+                config=scaled_config(scale=scale, seed=seed + i, frames=frames),
+                weight=weight,
+            )
+        )
+    return Scenario(name=f"mix[{count}]", specs=tuple(specs))
+
+
+def poisson_churn(
+    rate: float,
+    horizon: int,
+    mean_frames: int = 25,
+    min_frames: int = 10,
+    seed: int = 7,
+    scales: tuple[int, ...] = MIX_SCALES,
+    initial: int = 0,
+) -> Scenario:
+    """Poisson(rate) arrivals per round over ``horizon`` rounds.
+
+    Each stream is a finite clip whose length is geometric with mean
+    ``mean_frames`` (clamped at ``min_frames``), so departures happen
+    naturally as clips end.  ``initial`` streams are present at round 0
+    before the Poisson process starts.  Fully deterministic for a fixed
+    seed.
+    """
+    if rate < 0:
+        raise ConfigurationError("rate must be >= 0")
+    if horizon < 1:
+        raise ConfigurationError("horizon must be >= 1")
+    if mean_frames < min_frames:
+        raise ConfigurationError("mean_frames must be >= min_frames")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x5EED]))
+    specs = []
+    serial = 0
+
+    def spawn(round_index: int) -> StreamSpec:
+        nonlocal serial
+        scale = scales[int(rng.integers(len(scales)))]
+        frames = max(min_frames, int(rng.geometric(1.0 / mean_frames)))
+        spec = StreamSpec(
+            name=f"churn-{serial}-s{scale}",
+            arrival_round=round_index,
+            config=scaled_config(
+                scale=scale, seed=seed + 100 + serial, frames=frames
+            ),
+        )
+        serial += 1
+        return spec
+
+    for _ in range(initial):
+        specs.append(spawn(0))
+    for round_index in range(horizon):
+        for _ in range(int(rng.poisson(rate))):
+            specs.append(spawn(round_index))
+    return Scenario(name=f"churn[rate={rate}]", specs=tuple(specs))
+
+
+def flash_crowd(
+    base: int,
+    crowd: int,
+    crowd_round: int,
+    frames: int = 30,
+    seed: int = 7,
+    scale: int = 20,
+) -> Scenario:
+    """A steady base fleet plus ``crowd`` simultaneous arrivals later."""
+    steady = steady_fleet(base, frames=frames, scale=scale, seed=seed)
+    burst = tuple(
+        StreamSpec(
+            name=f"crowd-{i}",
+            arrival_round=crowd_round,
+            config=scaled_config(scale=scale, seed=seed + 1000 + i, frames=frames),
+        )
+        for i in range(crowd)
+    )
+    return Scenario(
+        name=f"flash[{base}+{crowd}@{crowd_round}]",
+        specs=steady.specs + burst,
+    )
+
+
+def with_frames(scenario: Scenario, frames: int) -> Scenario:
+    """Copy of ``scenario`` with every stream truncated to ``frames``."""
+    specs = tuple(
+        replace(s, config=replace(s.config, frames=frames))
+        for s in scenario.specs
+    )
+    return Scenario(name=scenario.name, specs=specs)

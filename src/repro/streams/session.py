@@ -1,0 +1,329 @@
+"""One QoS-controlled encoder stream inside a shared-capacity fleet.
+
+A :class:`StreamSession` wraps the paper's single-application stack —
+controller tables, stochastic timing draws, camera/buffer timeline and
+the signal-side encoder — into an object the fleet runner can advance
+**one scheduling round at a time**.  Each round spans one camera period
+of the stream's own timeline: a new frame arrives (or the tail backlog
+drains) and any frame whose start time falls inside the round is
+encoded under the capacity the arbiter granted.
+
+Capacity semantics
+------------------
+
+The arbiter grants ``allocation`` cycles of shared processor per round.
+A stream whose config demands ``period`` cycles per round at dedicated
+speed therefore runs at ``speed = allocation / period``:
+
+* work of ``c`` cycles occupies ``c / speed`` wall-cycles of the
+  stream's timeline (a starved encoder stays busy longer, so the input
+  buffer overflows and frames skip — exactly the paper's overload
+  surface), and
+* a frame that would enjoy a wall-clock budget ``B`` only receives
+  ``B * speed`` cycles of actual work, which the table-driven
+  controller absorbs through its deadline-shift mechanism, degrading
+  quality smoothly instead of overrunning.
+
+Same-config sessions share one :class:`EncoderSimulation` (via
+:func:`repro.sim.runner.simulation_for`) because table compilation
+dominates construction cost; only the simulation's pure per-frame
+primitives are used here, so the sharing is safe (see the caching
+contract in :mod:`repro.sim.runner`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.encoder_loop import SimulationConfig
+from repro.sim.results import FrameRecord, RunResult
+from repro.sim.runner import simulation_for
+from repro.video.encoder_model import AnalyticEncoder
+from repro.video.ratecontrol import VirtualBufferRateController
+
+#: Grants below this fraction of demand are clamped: the stream is
+#: effectively paused rather than simulated at absurd slowdowns.
+MIN_SPEED = 1e-3
+
+
+@dataclass(frozen=True)
+class SessionStep:
+    """What one scheduling round did to one stream."""
+
+    round_index: int
+    granted: float
+    speed: float
+    arrived: int | None
+    arrival_skipped: bool
+    encoded: tuple[int, ...]
+    backlog: int
+    finished: bool
+
+
+class StreamSession:
+    """A steppable per-stream controller + executor + cycle state.
+
+    Parameters
+    ----------
+    stream_id:
+        Unique name inside the fleet; also salts this stream's random
+        streams so same-config sessions see different content timing.
+    config:
+        The stream's :class:`SimulationConfig` (period, buffers, size).
+    constraint_mode / granularity:
+        Passed through to the fine-grain controller.
+    weight:
+        Relative importance for weighted arbiters.
+    quality_ewma:
+        Smoothing factor for the ``recent_quality`` feedback signal the
+        quality-fair arbiter consumes (1.0 = last frame only).
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        config: SimulationConfig,
+        constraint_mode: str = "both",
+        granularity: int = 1,
+        weight: float = 1.0,
+        quality_ewma: float = 0.35,
+    ) -> None:
+        if weight <= 0:
+            raise ConfigurationError(f"stream weight must be positive, got {weight}")
+        if not 0.0 < quality_ewma <= 1.0:
+            raise ConfigurationError("quality_ewma must be in (0, 1]")
+        self.stream_id = stream_id
+        self.config = config
+        self.constraint_mode = constraint_mode
+        self.granularity = granularity
+        self.weight = weight
+        self.quality_ewma = quality_ewma
+
+        self.simulation = simulation_for(config)
+        if constraint_mode not in self.simulation._rows:
+            raise ConfigurationError(f"unknown constraint mode {constraint_mode!r}")
+        quality_set = self.simulation.quality_set
+        self._qmin = quality_set.qmin
+        self._qspan = max(1, quality_set.qmax - quality_set.qmin)
+        self._timing_rng = self.simulation._rng(f"stream-timing-{stream_id}")
+        self._encoder = AnalyticEncoder(
+            rd_model=config.rd_model,
+            rate_controller=VirtualBufferRateController(config.rate_control),
+            pixels=config.frame_pixels,
+            rng=self.simulation._rng(f"stream-signal-{stream_id}"),
+            bits_noise=config.bits_noise,
+        )
+
+        # timeline state (wall cycles of this stream's private clock)
+        self._pending: deque[int] = deque()
+        self._free_at = 0.0
+        self._round = 0
+        self._resolved: dict[int, tuple[FrameRecord, object]] = {}
+        self._signal_next = 0
+        self.records: list[FrameRecord] = []
+        self.recent_quality = math.nan
+        self._total_granted = 0.0
+        self._total_used = 0.0
+
+    # ------------------------------------------------------------------
+    # fleet-facing signals
+    # ------------------------------------------------------------------
+
+    @property
+    def demand(self) -> float:
+        """Cycles per round this stream needs to run at dedicated speed."""
+        return self.config.period
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.simulation.contents)
+
+    @property
+    def finished(self) -> bool:
+        """All frames arrived, encoded-or-skipped, and signal-processed."""
+        return (
+            self._round >= self.frame_count
+            and not self._pending
+            and self._signal_next >= self.frame_count
+        )
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending)
+
+    def normalized_recent_quality(self) -> float:
+        """``recent_quality`` mapped to [0, 1] (nan while no frame done)."""
+        if math.isnan(self.recent_quality):
+            return math.nan
+        return (self.recent_quality - self._qmin) / self._qspan
+
+    def utilization(self) -> float:
+        """Work cycles consumed over cycles granted so far."""
+        if self._total_granted <= 0:
+            return 0.0
+        return self._total_used / self._total_granted
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def step(self, allocation: float) -> SessionStep:
+        """Advance one scheduling round under ``allocation`` shared cycles.
+
+        Returns a :class:`SessionStep` describing the round.  Stepping a
+        finished session is an error — the fleet runner retires sessions
+        as soon as they report ``finished``.
+        """
+        if self.finished:
+            raise ConfigurationError(f"stream {self.stream_id!r} already finished")
+        if allocation < 0:
+            raise ConfigurationError("allocation must be >= 0")
+        cfg = self.config
+        speed = max(allocation / cfg.period, MIN_SPEED)
+        round_index = self._round
+        arrival_limit = round_index * cfg.period
+
+        encoded = self._start_pending_through(arrival_limit, speed)
+
+        arrived: int | None = None
+        arrival_skipped = False
+        if round_index < self.frame_count:
+            arrived = round_index
+            if len(self._pending) >= cfg.buffer_capacity:
+                arrival_skipped = True
+                content = self.simulation.contents[arrived]
+                self._resolved[arrived] = (
+                    FrameRecord(
+                        index=arrived,
+                        is_iframe=content.is_iframe,
+                        skipped=True,
+                        arrival=arrival_limit,
+                        motion=content.motion_activity,
+                    ),
+                    None,
+                )
+            else:
+                self._pending.append(arrived)
+        elif self._pending:
+            # camera stopped: drain the backlog, one round per period
+            encoded += self._start_pending_through(
+                arrival_limit + cfg.period, speed
+            )
+
+        self._round += 1
+        self._total_granted += allocation
+        self._emit_signal()
+        return SessionStep(
+            round_index=round_index,
+            granted=allocation,
+            speed=speed,
+            arrived=arrived,
+            arrival_skipped=arrival_skipped,
+            encoded=tuple(encoded),
+            backlog=len(self._pending),
+            finished=self.finished,
+        )
+
+    def _start_pending_through(self, limit: float, speed: float) -> list[int]:
+        """Encode pending frames whose start time is <= ``limit``."""
+        cfg = self.config
+        sim = self.simulation
+        horizon = cfg.buffer_capacity * cfg.period
+        encoded: list[int] = []
+        while self._pending:
+            frame = self._pending[0]
+            arrival = frame * cfg.period
+            start = max(self._free_at, arrival)
+            if start > limit:
+                break
+            self._pending.popleft()
+            content = sim.contents[frame]
+            wall_budget = arrival + horizon - start
+            work_budget = wall_budget * speed
+            timing = sim._encode_controlled_frame(
+                self._timing_rng,
+                content,
+                work_budget,
+                self.constraint_mode,
+                self.granularity,
+            )
+            wall_cycles = timing.cycles / speed
+            self._free_at = start + wall_cycles
+            self._total_used += timing.cycles
+            qualities = np.atleast_1d(np.asarray(timing.qualities))
+            churn = (
+                float(np.mean(np.abs(np.diff(qualities))))
+                if qualities.size > 1
+                else 0.0
+            )
+            record = FrameRecord(
+                index=frame,
+                is_iframe=content.is_iframe,
+                skipped=False,
+                arrival=arrival,
+                motion=content.motion_activity,
+                start=start,
+                end=self._free_at,
+                budget=work_budget,
+                encode_cycles=timing.cycles,
+                controller_cycles=timing.controller_cycles,
+                decisions=timing.decisions,
+                degraded_steps=timing.degraded,
+                mean_quality=float(np.mean(qualities)),
+                min_quality=int(np.min(qualities)),
+                max_quality=int(np.max(qualities)),
+                quality_churn=churn,
+            )
+            self._resolved[frame] = (record, qualities)
+            self._observe_quality(record.mean_quality)
+            encoded.append(frame)
+        return encoded
+
+    def _observe_quality(self, mean_quality: float) -> None:
+        if math.isnan(self.recent_quality):
+            self.recent_quality = mean_quality
+        else:
+            a = self.quality_ewma
+            self.recent_quality = a * mean_quality + (1 - a) * self.recent_quality
+
+    def _emit_signal(self) -> None:
+        """Run the signal pass over every contiguous resolved frame.
+
+        Rate control and PSNR depend on display order, while the
+        timeline resolves frames slightly out of order (a buffer skip is
+        known at arrival, before the previous frame finished encoding) —
+        so the signal pass trails the timeline and only consumes
+        frames once everything before them is resolved.
+        """
+        while self._signal_next in self._resolved:
+            record, qualities = self._resolved.pop(self._signal_next)
+            content = self.simulation.contents[record.index]
+            if record.skipped:
+                outcome = self._encoder.skip_frame(content)
+            else:
+                outcome = self._encoder.encode_frame(content, qualities)
+            self.records.append(
+                replace(record, psnr=outcome.psnr, bits=outcome.bits)
+            )
+            self._signal_next += 1
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def result(self, label: str | None = None) -> RunResult:
+        """The per-stream :class:`RunResult` over the rounds run so far."""
+        if label is None:
+            label = f"stream({self.stream_id})"
+        result = RunResult(
+            label=label,
+            period=self.config.period,
+            buffer_capacity=self.config.buffer_capacity,
+        )
+        result.frames = list(self.records)
+        return result

@@ -141,3 +141,40 @@ class TestReport:
         table = markdown_table(["a", "b"], [[1, 2], [3, 4]])
         assert table.splitlines()[0] == "| a | b |"
         assert "| 3 | 4 |" in table
+
+
+class TestFleetReporting:
+    def test_jain_fairness_index(self):
+        from repro.analysis.metrics import jain_fairness_index
+
+        assert jain_fairness_index([3.0, 3.0, 3.0, 3.0]) == pytest.approx(1.0)
+        assert jain_fairness_index([1.0, 0.0]) == pytest.approx(0.5)
+        assert math.isnan(jain_fairness_index([]))
+        # nans count as zero shares, not missing data
+        assert jain_fairness_index([1.0, float("nan")]) == pytest.approx(0.5)
+
+    def test_fleet_table_renders_arbiters(self):
+        from repro.analysis.report import fleet_table
+        from repro.streams import EqualShareArbiter, FleetRunner, steady_fleet
+
+        scenario = steady_fleet(2, frames=4, scale=27)
+        result = FleetRunner(
+            scenario.total_demand(), EqualShareArbiter()
+        ).run(scenario)
+        table = fleet_table([result])
+        lines = table.splitlines()
+        assert "equal-share" in table
+        assert "fair(q)" in lines[0]
+        assert len({len(line) for line in lines if line}) == 1  # aligned
+
+    def test_fleet_stream_table_lists_streams(self):
+        from repro.analysis.report import fleet_stream_table
+        from repro.streams import EqualShareArbiter, FleetRunner, steady_fleet
+
+        scenario = steady_fleet(2, frames=4, scale=27)
+        result = FleetRunner(
+            scenario.total_demand(), EqualShareArbiter()
+        ).run(scenario)
+        table = fleet_stream_table(result)
+        assert "steady-0" in table and "steady-1" in table
+        assert table.splitlines()[0].startswith("| stream |")

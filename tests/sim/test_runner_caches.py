@@ -1,0 +1,41 @@
+"""The memoizing runner wrappers and their sharing contract."""
+
+from repro.experiments.configs import tiny_config
+from repro.sim import runner
+
+
+class TestMemoization:
+    def test_controlled_runs_are_shared(self):
+        config = tiny_config(frames=8)
+        first = runner.run_controlled(config)
+        second = runner.run_controlled(config)
+        assert first is second  # cached, read-only by contract
+
+    def test_simulation_for_is_shared(self):
+        config = tiny_config(frames=8)
+        assert runner.simulation_for(config) is runner.simulation_for(config)
+
+    def test_distinct_configs_distinct_entries(self):
+        a = runner.run_controlled(tiny_config(frames=8))
+        b = runner.run_controlled(tiny_config(frames=9))
+        assert a is not b
+
+
+class TestResetCaches:
+    def test_reset_detaches_everything(self):
+        config = tiny_config(frames=8)
+        result = runner.run_controlled(config)
+        simulation = runner.simulation_for(config)
+        runner.reset_caches()
+        assert runner.run_controlled(config) is not result
+        assert runner.simulation_for(config) is not simulation
+
+    def test_rebuilt_results_are_equal(self):
+        # dropping the caches must not change any numbers: runs are
+        # fully determined by the config seed
+        config = tiny_config(frames=8)
+        before = runner.run_controlled(config)
+        runner.reset_caches()
+        after = runner.run_controlled(config)
+        assert before.summary() == after.summary()
+        assert list(before.psnr_series()) == list(after.psnr_series())

@@ -1,0 +1,96 @@
+"""Workload generators: shapes, determinism, bounds."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.scenarios import (
+    MIX_SCALES,
+    flash_crowd,
+    heterogeneous_mix,
+    poisson_churn,
+    steady_fleet,
+    with_frames,
+)
+
+
+class TestSteadyFleet:
+    def test_shape(self):
+        scenario = steady_fleet(6, frames=12)
+        assert len(scenario) == 6
+        assert all(s.arrival_round == 0 for s in scenario.specs)
+        assert all(s.config.frames == 12 for s in scenario.specs)
+        # distinct content seeds, same shape
+        seeds = {s.config.seed for s in scenario.specs}
+        assert len(seeds) == 6
+        periods = {s.config.period for s in scenario.specs}
+        assert len(periods) == 1
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            steady_fleet(0)
+
+
+class TestHeterogeneousMix:
+    def test_cycles_scales(self):
+        scenario = heterogeneous_mix(7, frames=10)
+        periods = [s.config.period for s in scenario.specs]
+        assert len(set(periods)) == len(MIX_SCALES)
+        # demand ordering: smaller scale = heavier stream
+        assert scenario.total_demand() == pytest.approx(sum(periods))
+
+    def test_weights_cycle(self):
+        scenario = heterogeneous_mix(4, frames=10, weights=(1.0, 2.0))
+        assert [s.weight for s in scenario.specs] == [1.0, 2.0, 1.0, 2.0]
+
+
+class TestPoissonChurn:
+    def test_deterministic_under_fixed_seed(self):
+        first = poisson_churn(rate=1.5, horizon=20, seed=9, initial=3)
+        second = poisson_churn(rate=1.5, horizon=20, seed=9, initial=3)
+        assert first.specs == second.specs
+
+    def test_seed_changes_the_draw(self):
+        first = poisson_churn(rate=1.5, horizon=20, seed=9)
+        second = poisson_churn(rate=1.5, horizon=20, seed=10)
+        assert first.specs != second.specs
+
+    def test_bounds(self):
+        scenario = poisson_churn(
+            rate=2.0, horizon=15, mean_frames=20, min_frames=8, seed=4, initial=2
+        )
+        assert scenario.last_arrival_round < 15
+        assert all(s.config.frames >= 8 for s in scenario.specs)
+        initial = [s for s in scenario.specs if s.name.startswith("churn-0")]
+        assert initial and initial[0].arrival_round == 0
+
+    def test_zero_rate_only_initial(self):
+        scenario = poisson_churn(rate=0.0, horizon=10, seed=1, initial=4)
+        assert len(scenario) == 4
+        assert all(s.arrival_round == 0 for s in scenario.specs)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            poisson_churn(rate=-1.0, horizon=10)
+        with pytest.raises(ConfigurationError):
+            poisson_churn(rate=1.0, horizon=0)
+        with pytest.raises(ConfigurationError):
+            poisson_churn(rate=1.0, horizon=10, mean_frames=5, min_frames=8)
+
+
+class TestFlashCrowd:
+    def test_shape(self):
+        scenario = flash_crowd(base=3, crowd=5, crowd_round=7, frames=10)
+        assert len(scenario) == 8
+        assert scenario.arrivals_at(0) == list(scenario.specs[:3])
+        assert len(scenario.arrivals_at(7)) == 5
+        assert scenario.last_arrival_round == 7
+
+
+class TestHelpers:
+    def test_with_frames_truncates(self):
+        scenario = with_frames(steady_fleet(3, frames=30), 5)
+        assert all(s.config.frames == 5 for s in scenario.specs)
+
+    def test_arrivals_at_empty_round(self):
+        scenario = steady_fleet(3, frames=10)
+        assert scenario.arrivals_at(99) == []
