@@ -1,0 +1,136 @@
+"""Cluster serving bench: placement policies, migration, headroom lending.
+
+Beyond-the-paper scaling experiment #2: the fleet layer sharded into
+multiple capacity pools (a multi-processor server).  Three questions:
+
+* how much global acceptance does feasibility-aware placement buy over
+  blind round-robin when shard capacities are skewed (the cluster-wide
+  admission argument of Alaya et al.),
+* how much cross-shard quality fairness does migration recover after
+  placement skew freezes in (the multi-server coordination of
+  Changuel et al.), and
+* what does the arbiter-of-arbiters (headroom lending between shard
+  arbiters) add on top, at zero migration cost.
+
+Writes ``cluster_placement.csv`` plus a ``cluster_placement.json``
+trajectory (uploaded as a CI artifact so bench history survives runs).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.report import cluster_compare_table
+from repro.cluster import (
+    BestFitPlacement,
+    ClusterRunner,
+    HeadroomBalancer,
+    LeastLoadedPlacement,
+    LoadBalanceMigration,
+    QualityAwarePlacement,
+    RoundRobinPlacement,
+    compare_placements,
+    shard_outage,
+    skewed_cluster,
+)
+
+from conftest import run_once
+
+PLACEMENTS = (
+    RoundRobinPlacement,
+    LeastLoadedPlacement,
+    BestFitPlacement,
+    QualityAwarePlacement,
+)
+
+
+def test_bench_cluster_placement(benchmark, results_dir):
+    """Placement-policy comparison on the skewed cluster scenario."""
+    # default size: the generator's promised regime (smallest shard
+    # below a heavy stream's qmin demand) is calibrated for it
+    scenario = skewed_cluster(frames=12)
+
+    def run():
+        plain = compare_placements(
+            scenario, [cls() for cls in PLACEMENTS]
+        )
+        migrating = compare_placements(
+            scenario,
+            [cls() for cls in PLACEMENTS],
+            migration_factory=LoadBalanceMigration,
+        )
+        return plain, migrating
+
+    plain, migrating = run_once(benchmark, run)
+    rows = list(plain.values()) + list(migrating.values())
+    print(
+        f"\ncluster placement comparison, {len(scenario.arrivals)} streams "
+        f"over {scenario.shard_count} skewed shards "
+        f"({scenario.total_capacity / 1e6:.0f} Mcyc/round total):"
+    )
+    print(cluster_compare_table(rows))
+
+    with open(results_dir / "cluster_placement.csv", "w") as handle:
+        handle.write(
+            "placement,migration,served,rejected,acceptance,migrations,"
+            "mean_quality,fairness_streams,fairness_cross_shard,imbalance\n"
+        )
+        for result in rows:
+            s = result.summary()
+            handle.write(
+                f"{s['placement']},{s['migration']},{s['served']},"
+                f"{s['rejected']},{s['acceptance_ratio']},{s['migrations']},"
+                f"{s['mean_quality']},{s['fairness_streams']},"
+                f"{s['fairness_cross_shard']},{s['load_imbalance']}\n"
+            )
+    with open(results_dir / "cluster_placement.json", "w") as handle:
+        json.dump([r.summary() for r in rows], handle, indent=2)
+
+    blind = plain["round-robin"]
+    aware = plain["best-fit"]
+    # acceptance criterion 1: feasibility-aware placement serves
+    # streams blind rotation rejects
+    assert aware.acceptance_ratio > blind.acceptance_ratio + 0.1
+    # acceptance criterion 2: migration recovers cross-shard fairness
+    frozen = plain["round-robin"]
+    mobile = migrating["round-robin"]
+    assert mobile.fairness_cross_shard() > frozen.fairness_cross_shard() + 0.1
+    # placement intelligence never loses streams
+    assert aware.served_count >= blind.served_count
+
+
+def test_bench_cluster_outage_and_lending(benchmark, results_dir):
+    """Shard outage: migration vs headroom lending vs nothing."""
+    scenario = shard_outage(streams=9, frames=14)
+
+    def run():
+        return {
+            "frozen": ClusterRunner(LeastLoadedPlacement()).run(scenario),
+            "migrating": ClusterRunner(
+                LeastLoadedPlacement(), migration=LoadBalanceMigration()
+            ).run(scenario),
+            "lending": ClusterRunner(
+                LeastLoadedPlacement(), balancer=HeadroomBalancer()
+            ).run(scenario),
+        }
+
+    results = run_once(benchmark, run)
+    print(
+        f"\nshard outage at round 4 "
+        f"({scenario.total_capacity / 1e6:.0f} Mcyc/round, 3 shards):"
+    )
+    print(cluster_compare_table(list(results.values())))
+    with open(results_dir / "cluster_outage.json", "w") as handle:
+        json.dump(
+            {name: r.summary() for name, r in results.items()},
+            handle,
+            indent=2,
+        )
+
+    frozen = results["frozen"]
+    migrating = results["migrating"]
+    # migration rescues the degraded shard's streams
+    assert migrating.total_skips() < frozen.total_skips()
+    assert migrating.fairness_streams() > frozen.fairness_streams()
+    # everything still served either way (admission was sized pre-outage)
+    assert frozen.served_count == migrating.served_count == 9

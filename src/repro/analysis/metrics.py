@@ -144,6 +144,23 @@ def jain_fairness_index(values: Sequence[float]) -> float:
     return total * total / (len(cleaned) * squares)
 
 
+def load_imbalance(loads: Sequence[float]) -> float:
+    """Peak-to-mean ratio over per-shard realized loads.
+
+    1.0 is a perfectly balanced cluster; ``n`` means one shard carried
+    everything.  Loads are whatever cumulative per-shard measure the
+    caller tracked (the cluster runner uses demand-cycles summed over
+    rounds); an all-idle cluster reports 1.0.
+    """
+    cleaned = [float(v) for v in loads if np.isfinite(v)]
+    if not cleaned:
+        return float("nan")
+    mean = sum(cleaned) / len(cleaned)
+    if mean == 0.0:
+        return 1.0
+    return max(cleaned) / mean
+
+
 def iframe_indices(result: RunResult) -> list[int]:
     """Frames encoded as I-frames (sequence changes)."""
     return [f.index for f in result.frames if f.is_iframe]

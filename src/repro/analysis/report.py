@@ -101,6 +101,70 @@ def fleet_table(results: Sequence) -> str:
     return _aligned_table(headers, rows)
 
 
+def cluster_table(result) -> str:
+    """Per-shard breakdown of one cluster run plus an aggregate row.
+
+    ``result`` is a :class:`repro.cluster.runner.ClusterResult`.
+    """
+    headers = [
+        "shard", "cap(M)", "served", "rej", "peak", "frames", "skips",
+        "q", "fair(q)",
+    ]
+    rows = []
+    for i, shard in enumerate(result.shard_results):
+        rows.append([
+            f"shard-{i}",
+            f"{shard.capacity / 1e6:.1f}",
+            str(shard.served_count),
+            str(shard.rejected_count),
+            str(shard.peak_concurrency),
+            str(shard.total_frames()),
+            str(shard.total_skips()),
+            _format(shard.mean_quality(), ".2f"),
+            _format(shard.fairness_quality(), ".3f"),
+        ])
+    rows.append([
+        "cluster",
+        f"{result.total_capacity / 1e6:.1f}",
+        str(result.served_count),
+        str(result.rejected_count),
+        "-",
+        str(result.total_frames()),
+        str(result.total_skips()),
+        _format(result.mean_quality(), ".2f"),
+        _format(result.fairness_streams(), ".3f"),
+    ])
+    return _aligned_table(headers, rows)
+
+
+def cluster_compare_table(results: Sequence) -> str:
+    """Side-by-side cluster metrics for several runs (one per policy).
+
+    ``results`` are :class:`repro.cluster.runner.ClusterResult` objects
+    (typically one per placement/migration combination over the same
+    scenario).
+    """
+    columns = (
+        ("placement", "placement", "s"),
+        ("migration", "migration", "s"),
+        ("balancer", "balancer", "s"),
+        ("served", "served", "d"),
+        ("rej", "rejected", "d"),
+        ("accept", "acceptance_ratio", ".3f"),
+        ("moves", "migrations", "d"),
+        ("skips", "skips", "d"),
+        ("q", "mean_quality", ".2f"),
+        ("fair(strm)", "fairness_streams", ".3f"),
+        ("fair(shard)", "fairness_cross_shard", ".3f"),
+        ("imbalance", "load_imbalance", ".2f"),
+    )
+    summaries = [result.summary() for result in results]
+    rows = [[_format(summary[key], spec) for _, key, spec in columns]
+            for summary in summaries]
+    headers = [name for name, _, _ in columns]
+    return _aligned_table(headers, rows)
+
+
 def fleet_stream_table(result) -> str:
     """Per-stream breakdown of one fleet run (label, rounds, quality)."""
     rows = []

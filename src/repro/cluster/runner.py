@@ -1,0 +1,422 @@
+"""The cluster runner: many shards, one placement brain, optional
+migration and headroom rebalancing.
+
+:class:`ClusterRunner` drives a
+:class:`~repro.cluster.scenarios.ClusterScenario` round by round:
+
+1. capacity events scheduled for this round hit their shards;
+2. arrivals are routed to a shard by the
+   :class:`~repro.cluster.placement.PlacementPolicy` and offered to
+   that shard's admission gate (a single shot — a bad placement *is*
+   the rejection, which is what the placement comparison measures);
+3. the :class:`~repro.cluster.migration.MigrationPolicy` plans moves
+   (queued specs toward headroom, starved sessions off overloaded
+   shards) and the runner executes them;
+4. shards re-examine their admission queues;
+5. the optional :class:`HeadroomBalancer` — an arbiter of arbiters —
+   computes this round's effective per-shard budgets by lending idle
+   shards' spare cycles to overloaded ones (total conserved);
+6. every shard arbitrates its (effective) budget and steps its
+   sessions one scheduling round.
+
+The run is deterministic for a fixed scenario; the result aggregates
+per-shard :class:`~repro.streams.fleet.FleetResult`s into cluster
+metrics — global acceptance ratio, per-stream and cross-shard Jain
+fairness, load imbalance, migration counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import jain_fairness_index, load_imbalance
+from repro.cluster.migration import MigrationMove, MigrationPolicy
+from repro.cluster.placement import PlacementPolicy
+from repro.cluster.scenarios import ClusterScenario
+from repro.cluster.shard import Shard
+from repro.errors import ConfigurationError
+from repro.streams.admission import AdmissionController
+from repro.streams.arbiter import CapacityArbiter, make_arbiter
+from repro.streams.fleet import FleetResult
+
+
+class HeadroomBalancer:
+    """The arbiter-of-arbiters: lend idle shards' cycles per round.
+
+    Each round, a shard whose active demand sits below its capacity
+    donates ``lend_fraction`` of the spare into a pool; the pool is
+    split across shards whose demand exceeds capacity, proportionally
+    to their deficit.  The total budget is conserved and no shard drops
+    below what its own sessions can use, so admission guarantees
+    (committed against *nominal* shard capacity) are never violated by
+    the lending — it only moves cycles that would have idled.
+    """
+
+    def __init__(self, lend_fraction: float = 0.9) -> None:
+        if not 0.0 <= lend_fraction <= 1.0:
+            raise ConfigurationError("lend_fraction must be in [0, 1]")
+        self.lend_fraction = lend_fraction
+        self.lent_cycles = 0.0
+
+    def reset(self) -> None:
+        self.lent_cycles = 0.0
+
+    def effective_capacities(self, shards: list[Shard]) -> dict[str, float]:
+        effective = {s.shard_id: s.capacity for s in shards}
+        pool = 0.0
+        deficits: dict[str, float] = {}
+        for shard in shards:
+            demand = shard.active_demand
+            spare = shard.capacity - demand
+            if spare > 0:
+                lend = self.lend_fraction * spare
+                effective[shard.shard_id] -= lend
+                pool += lend
+            elif spare < 0:
+                deficits[shard.shard_id] = -spare
+        total_deficit = sum(deficits.values())
+        if pool <= 0 or total_deficit <= 0:
+            return {s.shard_id: s.capacity for s in shards}
+        granted = min(pool, total_deficit)
+        for shard_id, deficit in deficits.items():
+            effective[shard_id] += granted * deficit / total_deficit
+        # undistributed surplus returns to the donors pro rata
+        leftover = pool - granted
+        if leftover > 0:
+            spares = {
+                s.shard_id: max(0.0, s.capacity - s.active_demand)
+                for s in shards
+            }
+            total_spare = sum(spares.values())
+            for shard_id, spare in spares.items():
+                effective[shard_id] += leftover * spare / total_spare
+        self.lent_cycles += granted
+        return effective
+
+
+@dataclass
+class ClusterResult:
+    """Everything a cluster run produced, per shard and aggregated."""
+
+    scenario_name: str
+    placement_name: str
+    migration_name: str
+    total_capacity: float
+    balancer_name: str = "none"
+    rounds: int = 0
+    shard_results: list[FleetResult] = field(default_factory=list)
+    migrations: list[MigrationMove] = field(default_factory=list)
+    shard_demand_cycles: list[float] = field(default_factory=list)
+    lent_cycles: float = 0.0
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_results)
+
+    @property
+    def served_count(self) -> int:
+        return sum(r.served_count for r in self.shard_results)
+
+    @property
+    def rejected_count(self) -> int:
+        return sum(r.rejected_count for r in self.shard_results)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        offered = self.served_count + self.rejected_count
+        return self.served_count / offered if offered else 1.0
+
+    @property
+    def migration_count(self) -> int:
+        return len(self.migrations)
+
+    @property
+    def active_migration_count(self) -> int:
+        return sum(1 for m in self.migrations if m.kind == "active")
+
+    def per_stream_quality(self) -> list[float]:
+        values: list[float] = []
+        for result in self.shard_results:
+            values.extend(result.per_stream_quality())
+        return values
+
+    def per_shard_quality(self) -> list[float]:
+        """Mean served quality per shard (nan for idle shards)."""
+        return [r.mean_quality() for r in self.shard_results]
+
+    def fairness_streams(self) -> float:
+        """Jain index over every served stream's mean quality."""
+        return jain_fairness_index(self.per_stream_quality())
+
+    def fairness_cross_shard(self) -> float:
+        """Jain index over per-shard mean quality — the cluster-level
+        quality-fair-delivery criterion (idle shards excluded: an
+        unused pool is a placement problem, measured by imbalance)."""
+        values = [v for v in self.per_shard_quality() if not math.isnan(v)]
+        return jain_fairness_index(values)
+
+    def load_imbalance(self) -> float:
+        """Peak-to-mean realized shard load (1.0 = perfectly balanced)."""
+        return load_imbalance(self.shard_demand_cycles)
+
+    def mean_quality(self) -> float:
+        values = [v for v in self.per_stream_quality() if np.isfinite(v)]
+        return float(np.mean(values)) if values else math.nan
+
+    def total_skips(self) -> int:
+        return sum(r.total_skips() for r in self.shard_results)
+
+    def total_frames(self) -> int:
+        return sum(r.total_frames() for r in self.shard_results)
+
+    def summary(self) -> dict:
+        """Headline numbers for reports and assertions."""
+        return {
+            "scenario": self.scenario_name,
+            "placement": self.placement_name,
+            "migration": self.migration_name,
+            "balancer": self.balancer_name,
+            "shards": self.shard_count,
+            "capacity": self.total_capacity,
+            "rounds": self.rounds,
+            "served": self.served_count,
+            "rejected": self.rejected_count,
+            "acceptance_ratio": round(self.acceptance_ratio, 4),
+            "migrations": self.migration_count,
+            "active_migrations": self.active_migration_count,
+            "frames": self.total_frames(),
+            "skips": self.total_skips(),
+            "mean_quality": round(self.mean_quality(), 3),
+            "fairness_streams": round(self.fairness_streams(), 4),
+            "fairness_cross_shard": round(self.fairness_cross_shard(), 4),
+            "load_imbalance": round(self.load_imbalance(), 4),
+        }
+
+
+def build_shards(
+    capacities,
+    arbiter: str | CapacityArbiter = "quality-fair",
+    admission: bool = True,
+    admission_mode: str = "average",
+    constraint_mode: str = "both",
+    granularity: int = 1,
+) -> list[Shard]:
+    """Convenience: one shard per capacity, fresh arbiter + admission each."""
+    shards = []
+    for i, capacity in enumerate(capacities):
+        # arbiters are stateless (allocate is pure), so one instance
+        # may serve every shard
+        shard_arbiter = (
+            make_arbiter(arbiter) if isinstance(arbiter, str) else arbiter
+        )
+        gate = (
+            AdmissionController(capacity, mode=admission_mode)
+            if admission
+            else None
+        )
+        shards.append(
+            Shard(
+                shard_id=f"shard-{i}",
+                capacity=capacity,
+                arbiter=shard_arbiter,
+                admission=gate,
+                constraint_mode=constraint_mode,
+                granularity=granularity,
+            )
+        )
+    return shards
+
+
+class ClusterRunner:
+    """Round-robin concurrent serving across many shards.
+
+    Parameters
+    ----------
+    placement:
+        The :class:`PlacementPolicy` routing arrivals to shards.
+    migration:
+        Optional :class:`MigrationPolicy` (``None`` = streams never
+        move).
+    balancer:
+        Optional :class:`HeadroomBalancer` lending idle capacity
+        between shards each round.
+    shard_kwargs:
+        Passed to :func:`build_shards` (arbiter, admission, ...).
+    """
+
+    def __init__(
+        self,
+        placement: PlacementPolicy,
+        migration: MigrationPolicy | None = None,
+        balancer: HeadroomBalancer | None = None,
+        max_rounds: int = 100_000,
+        **shard_kwargs,
+    ) -> None:
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        self.placement = placement
+        self.migration = migration
+        self.balancer = balancer
+        self.max_rounds = max_rounds
+        self.shard_kwargs = shard_kwargs
+
+    def run(
+        self,
+        scenario: ClusterScenario,
+        shards: list[Shard] | None = None,
+    ) -> ClusterResult:
+        """Serve the whole cluster scenario to completion.
+
+        ``shards`` overrides the default :func:`build_shards` pools
+        (they must match the scenario's shard count).
+        """
+        # a run is self-contained: replaying the same scenario on the
+        # same runner must reproduce it exactly
+        self.placement.reset()
+        if self.migration is not None:
+            self.migration.reset()
+        if self.balancer is not None:
+            self.balancer.reset()
+        if shards is None:
+            shards = build_shards(scenario.shard_capacities, **self.shard_kwargs)
+        if len(shards) != scenario.shard_count:
+            raise ConfigurationError(
+                f"scenario expects {scenario.shard_count} shards, "
+                f"got {len(shards)}"
+            )
+        result = ClusterResult(
+            scenario_name=scenario.name,
+            placement_name=getattr(
+                self.placement, "name", type(self.placement).__name__
+            ),
+            migration_name=(
+                getattr(self.migration, "name", type(self.migration).__name__)
+                if self.migration is not None
+                else "none"
+            ),
+            total_capacity=scenario.total_capacity,
+            balancer_name=(
+                "headroom" if self.balancer is not None else "none"
+            ),
+        )
+        by_id = {s.shard_id: s for s in shards}
+        arrivals = scenario.arrivals
+        horizon = max(arrivals.last_arrival_round, scenario.last_event_round)
+        round_index = 0
+        while round_index <= horizon or any(s.busy for s in shards):
+            if round_index >= self.max_rounds:
+                raise ConfigurationError(
+                    f"cluster exceeded max_rounds={self.max_rounds}"
+                )
+            # 1. capacity events (admission re-checks its queue below:
+            # an event changes feasibility without any release)
+            event_shards: set[str] = set()
+            for event in scenario.events_at(round_index):
+                shard = shards[event.shard_index]
+                shard.set_capacity(shard.nominal_capacity * event.factor)
+                event_shards.add(shard.shard_id)
+            # 2. arrivals through placement + shard admission
+            for spec in arrivals.arrivals_at(round_index):
+                shard = self.placement.choose(spec, shards, round_index)
+                shard.offer(spec, round_index)
+            # 3. migration
+            if self.migration is not None:
+                moves = self.migration.plan(shards, round_index)
+                for move in moves:
+                    if self._execute(move, by_id, round_index):
+                        result.migrations.append(move)
+            # 4. queued streams that now fit start
+            for shard in shards:
+                shard.admit_queued(
+                    round_index, force=shard.shard_id in event_shards
+                )
+            # stuck queues: nothing active anywhere, no arrivals or
+            # events left — nothing will ever free capacity, flush
+            if round_index > horizon and not any(s.active for s in shards):
+                for shard in shards:
+                    shard.reject_stuck_queue()
+                    # whatever survived the flush fits on an idle shard
+                    shard.admit_queued(round_index, force=True)
+            # 5 + 6. headroom lending, then every shard steps
+            effective = (
+                self.balancer.effective_capacities(shards)
+                if self.balancer is not None
+                else None
+            )
+            for shard in shards:
+                shard.step(
+                    round_index,
+                    None if effective is None else effective[shard.shard_id],
+                )
+            round_index += 1
+        result.rounds = round_index
+        result.shard_results = [
+            s.result(scenario.name, round_index) for s in shards
+        ]
+        result.shard_demand_cycles = [s.demand_cycles for s in shards]
+        if self.balancer is not None:
+            result.lent_cycles = self.balancer.lent_cycles
+        return result
+
+    def _execute(
+        self,
+        move: MigrationMove,
+        by_id: dict[str, Shard],
+        round_index: int,
+    ) -> bool:
+        """Apply one planned move; returns False if it no longer applies."""
+        source = by_id[move.source]
+        dest = by_id[move.dest]
+        if move.kind == "queued":
+            spec = next(
+                (s for s in source.queue if s.name == move.stream_id), None
+            )
+            if spec is None:
+                return False
+            # the policy checked feasibility, but a same-round earlier
+            # move may have consumed the headroom — bounce BEFORE
+            # popping so the source queue keeps its FIFO order and the
+            # stream is never converted into a rejection
+            if not dest.feasible_now(spec):
+                return False
+            source.pop_queued(move.stream_id)
+            dest.offer(spec, round_index)
+            return True
+        session_entry = source.spec_of.get(move.stream_id)
+        if session_entry is None:
+            return False
+        session, spec, admitted = source.detach(move.stream_id)
+        dest.attach(session, spec, admitted)
+        return True
+
+
+def compare_placements(
+    scenario: ClusterScenario,
+    placements: list[PlacementPolicy],
+    migration_factory=None,
+    balancer_factory=None,
+    **runner_kwargs,
+) -> dict[str, ClusterResult]:
+    """Run one cluster scenario under several placement policies.
+
+    Fresh shards, migration and balancer per run so policies never
+    share state; the bench and the acceptance tests use this to put
+    round-robin and feasibility-aware placement side by side.
+    """
+    results: dict[str, ClusterResult] = {}
+    for placement in placements:
+        runner = ClusterRunner(
+            placement=placement,
+            migration=migration_factory() if migration_factory else None,
+            balancer=balancer_factory() if balancer_factory else None,
+            **runner_kwargs,
+        )
+        results[placement.name] = runner.run(scenario)
+    return results

@@ -1,0 +1,209 @@
+"""Cluster workloads: arrivals plus shard capacities plus events.
+
+A :class:`ClusterScenario` extends the single-pool
+:class:`~repro.streams.scenarios.Scenario` with the cluster-side state
+the runner needs: per-shard capacities (heterogeneous pools model a
+multi-processor server with unequal cores) and a replayable list of
+:class:`CapacityEvent`s (outages, degradations, recoveries).  Like the
+stream scenarios everything is a plain data list — deterministic,
+seedable, trivially comparable across placement and migration policies.
+
+Generators:
+
+* :func:`skewed_cluster` — heavy/light stream mix over unequal shards
+  at a fixed total capacity; the workload on which blind round-robin
+  placement measurably rejects streams a feasibility-aware policy
+  serves;
+* :func:`shard_outage` — a steady fleet spread over equal shards, then
+  one shard's capacity collapses mid-run (migration's rescue case);
+* :func:`flash_crowd_split` — a base load plus a simultaneous crowd
+  that only fits if placement splits it across pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import scaled_config
+from repro.streams.scenarios import Scenario, StreamSpec
+
+
+@dataclass(frozen=True)
+class CapacityEvent:
+    """At ``round_index``, shard ``shard_index`` runs at ``factor`` of
+    its nominal capacity (1.0 restores it)."""
+
+    round_index: int
+    shard_index: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ConfigurationError("round_index must be >= 0")
+        if self.factor <= 0:
+            raise ConfigurationError(
+                "factor must be positive (use a small factor for an "
+                "outage; zero-capacity shards cannot arbitrate)"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """Arrivals + shard capacities + capacity events, all replayable."""
+
+    name: str
+    arrivals: Scenario
+    shard_capacities: tuple[float, ...]
+    events: tuple[CapacityEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.shard_capacities:
+            raise ConfigurationError("need at least one shard")
+        if any(c <= 0 for c in self.shard_capacities):
+            raise ConfigurationError("shard capacities must be positive")
+        for event in self.events:
+            if not 0 <= event.shard_index < len(self.shard_capacities):
+                raise ConfigurationError(
+                    f"event shard_index {event.shard_index} out of range"
+                )
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_capacities)
+
+    @property
+    def total_capacity(self) -> float:
+        return sum(self.shard_capacities)
+
+    @property
+    def last_event_round(self) -> int:
+        return max((e.round_index for e in self.events), default=0)
+
+    def events_at(self, round_index: int) -> list[CapacityEvent]:
+        return [e for e in self.events if e.round_index == round_index]
+
+
+def _split_capacity(total: float, fractions: tuple[float, ...]) -> tuple[float, ...]:
+    norm = sum(fractions)
+    return tuple(total * f / norm for f in fractions)
+
+
+def skewed_cluster(
+    streams: int = 12,
+    shards: int = 3,
+    frames: int = 12,
+    seed: int = 7,
+    utilization: float = 0.5,
+    skew: float = 8.0,
+    heavy_scale: int = 12,
+    light_scale: int = 27,
+) -> ClusterScenario:
+    """Heavy/light arrivals over unequal shards, fixed total capacity.
+
+    Shard capacities follow a geometric skew (shard 0 is ``skew`` times
+    shard ``n-1``); the stream mix alternates heavy (``heavy_scale``)
+    and light (``light_scale``) clips, staggered a round apart.  The
+    defaults put the smallest shard's whole budget *below* a heavy
+    stream's qmin demand while the largest could absorb every heavy
+    stream at once: where an arrival lands decides whether it is served
+    at all, which is exactly the regime that separates blind from
+    feasibility-aware placement.  Total capacity is ``utilization``
+    times the mix's aggregate demand.
+    """
+    if streams < 1 or shards < 1:
+        raise ConfigurationError("streams and shards must be >= 1")
+    specs = []
+    for i in range(streams):
+        heavy = i % 2 == 0
+        scale = heavy_scale if heavy else light_scale
+        specs.append(
+            StreamSpec(
+                name=f"skew-{i}-s{scale}",
+                arrival_round=i // 2,
+                config=scaled_config(scale=scale, seed=seed + i, frames=frames),
+            )
+        )
+    arrivals = Scenario(name=f"skewed[{streams}]", specs=tuple(specs))
+    total = utilization * arrivals.total_demand()
+    ratio = skew ** (1.0 / max(1, shards - 1)) if shards > 1 else 1.0
+    fractions = tuple(ratio ** (shards - 1 - i) for i in range(shards))
+    return ClusterScenario(
+        name=f"skewed[{streams}x{shards}]",
+        arrivals=arrivals,
+        shard_capacities=_split_capacity(total, fractions),
+    )
+
+
+def shard_outage(
+    streams: int = 9,
+    shards: int = 3,
+    frames: int = 16,
+    seed: int = 7,
+    scale: int = 20,
+    utilization: float = 0.9,
+    outage_round: int = 4,
+    outage_factor: float = 0.25,
+    outage_shard: int = 0,
+    recovery_round: int | None = None,
+) -> ClusterScenario:
+    """Equal shards, steady arrivals, one shard degrades mid-run."""
+    specs = tuple(
+        StreamSpec(
+            name=f"outage-{i}",
+            arrival_round=0,
+            config=scaled_config(scale=scale, seed=seed + i, frames=frames),
+        )
+        for i in range(streams)
+    )
+    arrivals = Scenario(name=f"outage[{streams}]", specs=specs)
+    total = utilization * arrivals.total_demand()
+    events = [CapacityEvent(outage_round, outage_shard, outage_factor)]
+    if recovery_round is not None:
+        events.append(CapacityEvent(recovery_round, outage_shard, 1.0))
+    return ClusterScenario(
+        name=f"outage[{streams}x{shards}@r{outage_round}]",
+        arrivals=arrivals,
+        shard_capacities=_split_capacity(total, (1.0,) * shards),
+        events=tuple(events),
+    )
+
+
+def flash_crowd_split(
+    base: int = 4,
+    crowd: int = 8,
+    crowd_round: int = 3,
+    shards: int = 4,
+    frames: int = 10,
+    seed: int = 7,
+    scale: int = 27,
+    utilization: float = 0.8,
+) -> ClusterScenario:
+    """A steady base plus a burst no single shard can absorb alone."""
+    specs = [
+        StreamSpec(
+            name=f"base-{i}",
+            arrival_round=0,
+            config=scaled_config(scale=scale, seed=seed + i, frames=frames),
+        )
+        for i in range(base)
+    ]
+    specs += [
+        StreamSpec(
+            name=f"crowd-{i}",
+            arrival_round=crowd_round,
+            config=scaled_config(
+                scale=scale, seed=seed + 1000 + i, frames=frames
+            ),
+        )
+        for i in range(crowd)
+    ]
+    arrivals = Scenario(
+        name=f"flash[{base}+{crowd}@{crowd_round}]", specs=tuple(specs)
+    )
+    total = utilization * arrivals.total_demand()
+    return ClusterScenario(
+        name=f"flash[{base}+{crowd}x{shards}]",
+        arrivals=arrivals,
+        shard_capacities=_split_capacity(total, (1.0,) * shards),
+    )

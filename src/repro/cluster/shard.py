@@ -1,0 +1,359 @@
+"""One shard: a capacity pool with its own arbiter and admission gate.
+
+A :class:`Shard` is the steppable building block of the cluster layer —
+essentially one :class:`~repro.streams.fleet.FleetRunner` round opened
+up so a :class:`~repro.cluster.runner.ClusterRunner` can interleave
+many pools and move streams between them:
+
+* ``offer`` routes an arriving :class:`StreamSpec` through the shard's
+  own :class:`~repro.streams.admission.AdmissionController` (accept /
+  queue / reject against the shard's remaining feasible capacity);
+* ``step`` arbitrates the shard's budget across its active sessions and
+  advances each one scheduling round, retiring finished streams;
+* ``detach`` / ``attach`` move a live session (or a queued spec) out of
+  / into the shard with its admission commitment, the primitive the
+  migration policies are built on;
+* ``set_capacity`` applies outage / capacity-drop events mid-run.
+
+Per-shard serving history accumulates into the same
+:class:`~repro.streams.fleet.FleetResult` the single-pool layer uses,
+so every fleet metric (fairness, skips, acceptance) is available
+per shard and the cluster result is a straight aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.streams.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionVerdict,
+    qmin_demand,
+)
+from repro.streams.arbiter import CapacityArbiter, CapacityRequest
+from repro.streams.fleet import FleetResult, StreamOutcome
+from repro.streams.scenarios import StreamSpec
+from repro.streams.session import StreamSession
+
+
+class Shard:
+    """One capacity pool + arbiter + admission gate inside a cluster.
+
+    Parameters
+    ----------
+    shard_id:
+        Stable name (placement and migration records refer to it).
+    capacity:
+        The shard's share of the cluster budget (cycles per round).
+    arbiter:
+        The shard-local :class:`CapacityArbiter`.
+    admission:
+        Optional shard-local admission controller; its capacity should
+        equal the shard's.  ``None`` admits everything.
+    constraint_mode / granularity:
+        Controller settings applied to every session on this shard.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        capacity: float,
+        arbiter: CapacityArbiter,
+        admission: AdmissionController | None = None,
+        constraint_mode: str = "both",
+        granularity: int = 1,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("shard capacity must be positive")
+        self.shard_id = shard_id
+        self.capacity = capacity
+        self.nominal_capacity = capacity
+        self.arbiter = arbiter
+        self.admission = admission
+        self.constraint_mode = constraint_mode
+        self.granularity = granularity
+
+        self.active: list[StreamSession] = []
+        self.spec_of: dict[str, StreamSpec] = {}
+        self.admitted_round: dict[str, int] = {}
+        self.outcomes: list[StreamOutcome] = []
+        self.rejected: list[StreamSpec] = []
+        self.peak_concurrency = 0
+        self.rounds_stepped = 0
+        #: cycles of active demand summed over rounds — the shard's
+        #: realized load, the basis of the cluster imbalance metric
+        self.demand_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # placement-facing signals
+    # ------------------------------------------------------------------
+
+    @property
+    def queue(self) -> list[StreamSpec]:
+        """Specs parked in the shard's admission queue (empty if none)."""
+        if self.admission is None:
+            return []
+        return list(self.admission.queue)
+
+    @property
+    def active_demand(self) -> float:
+        """Dedicated-speed cycles/round the active sessions would need."""
+        return sum(s.demand for s in self.active)
+
+    @property
+    def load(self) -> float:
+        """Active + queued demand over capacity — the placement signal."""
+        queued = sum(spec.config.period for spec in self.queue)
+        return (self.active_demand + queued) / self.capacity
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.active) or bool(self.queue)
+
+    def feasible_now(self, spec: StreamSpec) -> bool:
+        """Would the shard accept ``spec`` immediately?
+
+        With the uniform cycle deadline the schedule-walk feasibility
+        check reduces exactly to ``qmin_demand <= available`` (worst
+        slack is ``available - sum(schedule times)``), so the hot
+        placement/migration paths use the memoized demand instead of
+        re-walking the schedule per (spec, shard, round).
+        """
+        if self.admission is None:
+            return True
+        return (
+            qmin_demand(spec.config, self.admission.mode)
+            <= self.admission.remaining
+        )
+
+    def feasible_alone(self, spec: StreamSpec) -> bool:
+        """Is ``spec`` feasible on this shard's whole budget (else it
+        can never be served here, only rejected)?"""
+        if self.admission is None:
+            return True
+        return (
+            qmin_demand(spec.config, self.admission.mode)
+            <= self.admission.budget
+        )
+
+    def headroom(self) -> float:
+        """Uncommitted feasible cycles/round (capacity if ungated)."""
+        if self.admission is None:
+            return max(0.0, self.capacity - self.active_demand)
+        return max(0.0, self.admission.remaining)
+
+    def mean_recent_quality(self) -> float:
+        """Mean normalized recent quality of active sessions (1.0 when
+        idle — an empty shard looks maximally healthy to placement)."""
+        values = [
+            q
+            for q in (s.normalized_recent_quality() for s in self.active)
+            if not math.isnan(q)
+        ]
+        if not values:
+            return 1.0
+        return sum(values) / len(values)
+
+    # ------------------------------------------------------------------
+    # arrivals and capacity events
+    # ------------------------------------------------------------------
+
+    def offer(self, spec: StreamSpec, round_index: int) -> AdmissionDecision:
+        """Route one arrival through this shard's admission gate."""
+        if self.admission is None:
+            self._start(spec, round_index)
+            return AdmissionDecision.ACCEPTED
+        verdict: AdmissionVerdict = self.admission.offer(spec)
+        if verdict.decision is AdmissionDecision.ACCEPTED:
+            self._start(spec, round_index)
+        elif verdict.decision is AdmissionDecision.REJECTED:
+            self.rejected.append(spec)
+        return verdict.decision
+
+    def admit_queued(self, round_index: int, force: bool = False) -> int:
+        """Start every queued spec that now fits; returns how many."""
+        if self.admission is None:
+            return 0
+        admitted = self.admission.admit_queued(force=force)
+        for spec in admitted:
+            self._start(spec, round_index)
+        return len(admitted)
+
+    def set_capacity(self, capacity: float) -> None:
+        """Apply a capacity event (outage, degradation, recovery).
+
+        The arbiter pool and the admission budget both shrink; already
+        committed demand may exceed the new budget, which simply blocks
+        new admissions until departures (or migration) relieve it.
+        """
+        if capacity <= 0:
+            raise ConfigurationError("shard capacity must stay positive")
+        self.capacity = capacity
+        if self.admission is not None:
+            self.admission.capacity = capacity
+
+    def reject_stuck_queue(self) -> int:
+        """Reject queued specs that can no longer fit even when idle.
+
+        After a capacity drop, a spec that was queued as "feasible
+        alone" under the old budget may be unservable forever; without
+        this flush the cluster loop would spin until ``max_rounds``.
+        Only called by the runner once arrivals are exhausted and the
+        shard has nothing active to depart.
+        """
+        if self.admission is None or not self.admission.queue:
+            return 0
+        flushed = 0
+        kept = []
+        while self.admission.queue:
+            spec = self.admission.queue.popleft()
+            if self.feasible_alone(spec):
+                kept.append(spec)
+            else:
+                self.admission.rejected_count += 1
+                self.rejected.append(spec)
+                flushed += 1
+        self.admission.queue.extend(kept)
+        return flushed
+
+    # ------------------------------------------------------------------
+    # migration primitives
+    # ------------------------------------------------------------------
+
+    def detach(self, stream_id: str) -> tuple[StreamSession, StreamSpec, int]:
+        """Remove a live session, releasing its admission commitment."""
+        for i, session in enumerate(self.active):
+            if session.stream_id == stream_id:
+                del self.active[i]
+                spec = self.spec_of.pop(stream_id)
+                admitted = self.admitted_round.pop(stream_id)
+                if self.admission is not None:
+                    self.admission.release(spec.config)
+                return session, spec, admitted
+        raise ConfigurationError(
+            f"stream {stream_id!r} not active on shard {self.shard_id!r}"
+        )
+
+    def attach(
+        self,
+        session: StreamSession,
+        spec: StreamSpec,
+        admitted_round: int,
+    ) -> None:
+        """Adopt a migrated live session, committing its qmin demand.
+
+        The migration policy is responsible for checking feasibility
+        first; attach itself never refuses — a cluster must not lose a
+        stream mid-flight.
+        """
+        if spec.name in self.spec_of:
+            raise ConfigurationError(
+                f"duplicate stream {spec.name!r} on shard {self.shard_id!r}"
+            )
+        self.active.append(session)
+        self.spec_of[spec.name] = spec
+        self.admitted_round[spec.name] = admitted_round
+        if self.admission is not None:
+            self.admission.committed += qmin_demand(
+                spec.config, self.admission.mode
+            )
+
+    def pop_queued(self, name: str) -> StreamSpec | None:
+        """Remove one spec from the admission queue (for queue moves).
+
+        Removing a spec can unblock the head-of-line behind it, so the
+        admission controller is told to re-check on the next retry.
+        """
+        if self.admission is None:
+            return None
+        for spec in list(self.admission.queue):
+            if spec.name == name:
+                self.admission.queue.remove(spec)
+                self.admission.mark_freed()
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def step(self, round_index: int, capacity: float | None = None) -> int:
+        """Arbitrate and advance every active session one round.
+
+        ``capacity`` overrides the shard's own pool for this round only
+        (the headroom balancer's lever).  Returns the number of streams
+        that finished this round.
+        """
+        self.rounds_stepped += 1
+        if not self.active:
+            return 0
+        pool = self.capacity if capacity is None else capacity
+        self.peak_concurrency = max(self.peak_concurrency, len(self.active))
+        self.demand_cycles += self.active_demand
+        requests = [
+            CapacityRequest(
+                stream_id=s.stream_id,
+                demand=s.demand,
+                weight=s.weight,
+                recent_quality=s.normalized_recent_quality(),
+                backlog=s.backlog,
+            )
+            for s in self.active
+        ]
+        allocations = self.arbiter.allocate(requests, pool)
+        finished = 0
+        still_active: list[StreamSession] = []
+        for session in self.active:
+            step = session.step(allocations[session.stream_id])
+            if step.finished:
+                spec = self.spec_of.pop(session.stream_id)
+                self.outcomes.append(
+                    StreamOutcome(
+                        spec=spec,
+                        result=session.result(),
+                        admitted_round=self.admitted_round.pop(session.stream_id),
+                        finished_round=round_index,
+                    )
+                )
+                if self.admission is not None:
+                    self.admission.release(spec.config)
+                finished += 1
+            else:
+                still_active.append(session)
+        self.active = still_active
+        return finished
+
+    def _start(self, spec: StreamSpec, round_index: int) -> None:
+        if spec.name in self.spec_of:
+            raise ConfigurationError(f"duplicate stream name {spec.name!r}")
+        session = StreamSession(
+            stream_id=spec.name,
+            config=spec.config,
+            constraint_mode=self.constraint_mode,
+            granularity=self.granularity,
+            weight=spec.weight,
+        )
+        self.active.append(session)
+        self.spec_of[spec.name] = spec
+        self.admitted_round[spec.name] = round_index
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def result(self, scenario_name: str, rounds: int) -> FleetResult:
+        """This shard's serving history as a standard FleetResult."""
+        result = FleetResult(
+            scenario_name=scenario_name,
+            arbiter_name=getattr(
+                self.arbiter, "name", type(self.arbiter).__name__
+            ),
+            capacity=self.nominal_capacity,
+            rounds=rounds,
+        )
+        result.streams = list(self.outcomes)
+        result.rejected = list(self.rejected)
+        result.peak_concurrency = self.peak_concurrency
+        return result

@@ -31,6 +31,7 @@ import math
 import zlib
 from collections import deque
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Callable, Sequence
 
 import numpy as np
@@ -67,6 +68,85 @@ from repro.video.rd_model import RateDistortionModel
 _POST_ME_ACTIONS = tuple(
     a for a in MACROBLOCK_ACTIONS if a not in (GRAB_ACTION, ME_ACTION)
 )
+
+
+def _inflate_application(
+    macroblocks: int,
+    decision_overhead: float,
+    average_times: QualityTimeTable | None = None,
+):
+    """The application with instrumentation overhead folded into the
+    timing tables (every action's Cav/Cwc grows by the per-boundary
+    overhead), exactly as the paper's compiler accounts for its own
+    generated code — so the safety guarantee covers the instrumented
+    application.  ``average_times`` (raw, un-inflated) overrides the
+    published averages — the hook the learning controller uses.
+    """
+    application = macroblock_application(macroblocks)
+    if average_times is not None:
+        application = replace(application, average_times=average_times)
+    if decision_overhead > 0:
+        av_entries: dict[str, object] = {}
+        wc_entries: dict[str, object] = {}
+        base_av = application.average_times
+        base_wc = application.worst_times
+        for action in MACROBLOCK_ACTIONS:
+            av_entries[action] = {
+                q: base_av.time(action, q) + decision_overhead
+                for q in ENCODER_QUALITY_LEVELS
+            }
+            wc_entries[action] = {
+                q: base_wc.time(action, q) + decision_overhead
+                for q in ENCODER_QUALITY_LEVELS
+            }
+        application = replace(
+            application,
+            average_times=QualityTimeTable(ENCODER_QUALITY_LEVELS, av_entries),
+            worst_times=QualityTimeTable(ENCODER_QUALITY_LEVELS, wc_entries),
+        )
+    return application
+
+
+@dataclass(frozen=True)
+class CompiledController:
+    """A compiled controller, shared across same-shape simulations.
+
+    Everything here is a pure function of ``(macroblocks,
+    nominal_budget, decision_overhead)`` — neither the content seed nor
+    the rate-control/RD parameters enter table compilation — so a fleet
+    of same-shape streams that differ only in content shares ONE table
+    compile (the dominant construction cost).  All fields are treated
+    as read-only by every holder.
+    """
+
+    application: object
+    system: object
+    tables: ControllerTables
+    rows: dict
+    me_positions: tuple
+
+
+@lru_cache(maxsize=64)
+def compiled_controller(
+    macroblocks: int, nominal_budget: float, decision_overhead: float
+) -> CompiledController:
+    """Compile (and memoize) the controller tables for one shape."""
+    application = _inflate_application(macroblocks, decision_overhead)
+    system = application.system(budget=nominal_budget)
+    system.validate()
+    tables = ControllerTables.from_system(system)
+    rows = {
+        "both": tables.combined_bound.tolist(),
+        "average": tables.average_bound.tolist(),
+        "worst": tables.worst_bound.tolist(),
+    }
+    return CompiledController(
+        application=application,
+        system=system,
+        tables=tables,
+        rows=rows,
+        me_positions=tuple(application.positions_of(ME_ACTION)),
+    )
 
 
 @dataclass(frozen=True)
@@ -175,50 +255,31 @@ class EncoderSimulation:
         }
 
     def _inflated_application(self, average_times: QualityTimeTable | None = None):
-        """The application with instrumentation overhead folded into the
-        timing tables (every action's Cav/Cwc grows by the per-boundary
-        overhead), exactly as the paper's compiler accounts for its own
-        generated code — so the safety guarantee covers the instrumented
-        application.  ``average_times`` (raw, un-inflated) overrides the
-        published averages — the hook the learning controller uses.
-        """
+        """See :func:`_inflate_application` (kept as a method hook for the
+        learning controller, which inflates re-learned tables per rebuild)."""
         cfg = self.config
-        overhead = cfg.decision_overhead
-        application = macroblock_application(cfg.macroblocks)
-        if average_times is not None:
-            application = replace(application, average_times=average_times)
-        if overhead > 0:
-            av_entries: dict[str, object] = {}
-            wc_entries: dict[str, object] = {}
-            base_av = application.average_times
-            base_wc = application.worst_times
-            for action in MACROBLOCK_ACTIONS:
-                av_entries[action] = {
-                    q: base_av.time(action, q) + overhead for q in self.quality_set
-                }
-                wc_entries[action] = {
-                    q: base_wc.time(action, q) + overhead for q in self.quality_set
-                }
-            application = replace(
-                application,
-                average_times=QualityTimeTable(self.quality_set, av_entries),
-                worst_times=QualityTimeTable(self.quality_set, wc_entries),
-            )
-        return application
+        return _inflate_application(
+            cfg.macroblocks, cfg.decision_overhead, average_times=average_times
+        )
 
     def _build_controller_tables(self) -> None:
-        """Compile the controller: tables over the unfolded frame schedule."""
+        """Attach the (shared) compiled controller for this shape.
+
+        Table compilation is memoized across simulations through
+        :func:`compiled_controller`: two configs that differ only in
+        content seed, clip length or signal-side parameters reuse the
+        same tables object — a 50-stream homogeneous fleet compiles
+        once, not 50 times.
+        """
         cfg = self.config
-        self.application = self._inflated_application()
-        self.system = self.application.system(budget=cfg.nominal_budget)
-        self.system.validate()
-        self.tables = ControllerTables.from_system(self.system)
-        self._me_positions = self.application.positions_of(ME_ACTION)
-        self._rows = {
-            "both": self.tables.combined_bound.tolist(),
-            "average": self.tables.average_bound.tolist(),
-            "worst": self.tables.worst_bound.tolist(),
-        }
+        compiled = compiled_controller(
+            cfg.macroblocks, cfg.nominal_budget, cfg.decision_overhead
+        )
+        self.application = compiled.application
+        self.system = compiled.system
+        self.tables = compiled.tables
+        self._me_positions = compiled.me_positions
+        self._rows = compiled.rows
         # worst-case ceilings used to keep biased platforms inside the
         # C <= Cwc contract (DESIGN.md: the method's only assumption)
         self._grab_ceiling = FIXED_ACTION_TIMES[GRAB_ACTION][1]

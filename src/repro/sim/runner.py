@@ -66,14 +66,17 @@ def _constant_cached(config: SimulationConfig, quality: int) -> RunResult:
 
 
 def reset_caches() -> None:
-    """Drop every memoized simulation and run result.
+    """Drop every memoized simulation, run result and compiled controller.
 
     After this call previously returned ``RunResult``/``EncoderSimulation``
     objects stay valid but are no longer shared with future calls.
     """
+    from repro.sim.encoder_loop import compiled_controller
+
     _controlled_cached.cache_clear()
     _constant_cached.cache_clear()
     _simulation.cache_clear()
+    compiled_controller.cache_clear()
 
 
 def run_controlled(

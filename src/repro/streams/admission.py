@@ -183,15 +183,22 @@ class AdmissionController:
         self.committed = max(0.0, self.committed - qmin_demand(config, self.mode))
         self._freed_since_retry = True
 
-    def admit_queued(self) -> list:
+    def mark_freed(self) -> None:
+        """Flag that queue feasibility may have changed without a
+        release (a queued spec was removed externally, e.g. migrated),
+        so the next ``admit_queued`` re-checks the head."""
+        self._freed_since_retry = True
+
+    def admit_queued(self, force: bool = False) -> list:
         """Pop every queued stream that now fits (FIFO, head-of-line).
 
         Head-of-line blocking is deliberate: skipping over a large
         queued stream in favour of later small ones would starve it.
         Cheap no-op unless a departure freed capacity since the last
-        retry.
+        retry — ``force`` re-checks anyway (capacity events and
+        migration change feasibility without a release).
         """
-        if not self._freed_since_retry:
+        if not (self._freed_since_retry or force):
             return []
         self._freed_since_retry = False
         admitted = []

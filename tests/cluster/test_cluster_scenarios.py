@@ -1,0 +1,100 @@
+"""Cluster scenario generators: shapes, validation, determinism."""
+
+import pytest
+
+from repro.cluster.scenarios import (
+    CapacityEvent,
+    ClusterScenario,
+    flash_crowd_split,
+    shard_outage,
+    skewed_cluster,
+)
+from repro.errors import ConfigurationError
+from repro.streams.scenarios import steady_fleet
+
+
+class TestClusterScenario:
+    def test_validation(self):
+        arrivals = steady_fleet(2, frames=5)
+        with pytest.raises(ConfigurationError):
+            ClusterScenario("bad", arrivals, shard_capacities=())
+        with pytest.raises(ConfigurationError):
+            ClusterScenario("bad", arrivals, shard_capacities=(1e6, -1.0))
+        with pytest.raises(ConfigurationError):
+            ClusterScenario(
+                "bad",
+                arrivals,
+                shard_capacities=(1e6,),
+                events=(CapacityEvent(0, 5, 0.5),),  # shard out of range
+            )
+        with pytest.raises(ConfigurationError):
+            CapacityEvent(round_index=-1, shard_index=0, factor=0.5)
+        with pytest.raises(ConfigurationError):
+            CapacityEvent(round_index=0, shard_index=0, factor=0.0)
+
+    def test_events_at(self):
+        arrivals = steady_fleet(1, frames=5)
+        events = (CapacityEvent(3, 0, 0.5), CapacityEvent(3, 1, 0.5),
+                  CapacityEvent(7, 0, 1.0))
+        scenario = ClusterScenario(
+            "ev", arrivals, shard_capacities=(1e6, 1e6), events=events
+        )
+        assert len(scenario.events_at(3)) == 2
+        assert len(scenario.events_at(4)) == 0
+        assert scenario.last_event_round == 7
+        assert scenario.shard_count == 2
+
+
+class TestGenerators:
+    def test_skewed_cluster_shape(self):
+        scenario = skewed_cluster(streams=12, shards=3)
+        assert scenario.shard_count == 3
+        assert len(scenario.arrivals) == 12
+        caps = scenario.shard_capacities
+        # geometric skew, decreasing
+        assert caps[0] > caps[1] > caps[2]
+        assert caps[0] / caps[2] == pytest.approx(8.0)
+        # fixed total: utilization fraction of the aggregate demand
+        assert scenario.total_capacity == pytest.approx(
+            0.5 * scenario.arrivals.total_demand()
+        )
+
+    def test_skewed_cluster_smallest_shard_cannot_host_heavy(self):
+        from repro.streams import qmin_demand
+
+        scenario = skewed_cluster()
+        heavy = next(
+            s for s in scenario.arrivals.specs if "-s12" in s.name
+        )
+        light = next(
+            s for s in scenario.arrivals.specs if "-s27" in s.name
+        )
+        smallest = min(scenario.shard_capacities)
+        largest = max(scenario.shard_capacities)
+        # the regime the generator promises: placement decides service
+        assert qmin_demand(heavy.config) > smallest
+        assert qmin_demand(light.config) < smallest
+        assert qmin_demand(heavy.config) < largest
+
+    def test_shard_outage_events(self):
+        scenario = shard_outage(outage_round=4, outage_factor=0.25,
+                                recovery_round=9)
+        assert len(scenario.events) == 2
+        drop, recover = scenario.events
+        assert drop.round_index == 4 and drop.factor == 0.25
+        assert recover.round_index == 9 and recover.factor == 1.0
+        # equal pools
+        caps = set(round(c) for c in scenario.shard_capacities)
+        assert len(caps) == 1
+
+    def test_flash_crowd_split_arrivals(self):
+        scenario = flash_crowd_split(base=4, crowd=8, crowd_round=3)
+        assert len(scenario.arrivals.arrivals_at(0)) == 4
+        assert len(scenario.arrivals.arrivals_at(3)) == 8
+
+    def test_generators_are_deterministic(self):
+        a = skewed_cluster()
+        b = skewed_cluster()
+        assert a == b
+        assert shard_outage() == shard_outage()
+        assert flash_crowd_split() == flash_crowd_split()

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "pixel_codec_demo.py",
     "codegen_tool.py",
     "fleet_serving.py",
+    "cluster_serving.py",
 ]
 HEAVY_EXAMPLES = ["video_encoder.py", "soft_deadlines.py"]
 

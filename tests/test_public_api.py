@@ -41,6 +41,8 @@ class TestTopLevel:
         "repro.video",
         "repro.video.pixel",
         "repro.sim",
+        "repro.streams",
+        "repro.cluster",
         "repro.baselines",
         "repro.tool",
         "repro.analysis",
