@@ -12,6 +12,7 @@ multiple capacity pools (a multi-processor server).  Three questions:
 * what does the arbiter-of-arbiters (headroom lending between shard
   arbiters) add on top, at zero migration cost.
 
+Every run is a serving-API ``ServingSpec`` executed by ``repro.serve``.
 Writes ``cluster_placement.csv`` plus a ``cluster_placement.json``
 trajectory (uploaded as a CI artifact so bench history survives runs).
 """
@@ -21,50 +22,49 @@ from __future__ import annotations
 import json
 
 from repro.analysis.report import cluster_compare_table
-from repro.cluster import (
-    BestFitPlacement,
-    ClusterRunner,
-    HeadroomBalancer,
-    LeastLoadedPlacement,
-    LoadBalanceMigration,
-    QualityAwarePlacement,
-    RoundRobinPlacement,
-    compare_placements,
-    shard_outage,
-    skewed_cluster,
-)
+from repro.serving import ServingSpec, serve
 
 from conftest import run_once
 
-PLACEMENTS = (
-    RoundRobinPlacement,
-    LeastLoadedPlacement,
-    BestFitPlacement,
-    QualityAwarePlacement,
-)
+PLACEMENTS = ("round-robin", "least-loaded", "best-fit", "quality-aware")
+
+
+def cluster_spec(scenario_name, scenario_kwargs, placement, **overrides):
+    document = {
+        "topology": "cluster",
+        "scenario": {"name": scenario_name, "kwargs": scenario_kwargs},
+        "placement": placement,
+    }
+    document.update(overrides)
+    return ServingSpec.from_dict(document)
 
 
 def test_bench_cluster_placement(benchmark, results_dir):
     """Placement-policy comparison on the skewed cluster scenario."""
     # default size: the generator's promised regime (smallest shard
     # below a heavy stream's qmin demand) is calibrated for it
-    scenario = skewed_cluster(frames=12)
+    scenario_kwargs = {"frames": 12}
 
     def run():
-        plain = compare_placements(
-            scenario, [cls() for cls in PLACEMENTS]
-        )
-        migrating = compare_placements(
-            scenario,
-            [cls() for cls in PLACEMENTS],
-            migration_factory=LoadBalanceMigration,
-        )
+        plain = {
+            name: serve(cluster_spec("skewed-cluster", scenario_kwargs, name))
+            for name in PLACEMENTS
+        }
+        migrating = {
+            name: serve(cluster_spec(
+                "skewed-cluster", scenario_kwargs, name,
+                migration="load-balance",
+            ))
+            for name in PLACEMENTS
+        }
         return plain, migrating
 
     plain, migrating = run_once(benchmark, run)
-    rows = list(plain.values()) + list(migrating.values())
+    rows = [r.raw for r in plain.values()] + [r.raw for r in migrating.values()]
+    scenario = plain["round-robin"].raw
     print(
-        f"\ncluster placement comparison, {len(scenario.arrivals)} streams "
+        f"\ncluster placement comparison, "
+        f"{scenario.served_count + scenario.rejected_count} streams "
         f"over {scenario.shard_count} skewed shards "
         f"({scenario.total_capacity / 1e6:.0f} Mcyc/round total):"
     )
@@ -92,8 +92,8 @@ def test_bench_cluster_placement(benchmark, results_dir):
     # streams blind rotation rejects
     assert aware.acceptance_ratio > blind.acceptance_ratio + 0.1
     # acceptance criterion 2: migration recovers cross-shard fairness
-    frozen = plain["round-robin"]
-    mobile = migrating["round-robin"]
+    frozen = plain["round-robin"].raw
+    mobile = migrating["round-robin"].raw
     assert mobile.fairness_cross_shard() > frozen.fairness_cross_shard() + 0.1
     # placement intelligence never loses streams
     assert aware.served_count >= blind.served_count
@@ -101,28 +101,33 @@ def test_bench_cluster_placement(benchmark, results_dir):
 
 def test_bench_cluster_outage_and_lending(benchmark, results_dir):
     """Shard outage: migration vs headroom lending vs nothing."""
-    scenario = shard_outage(streams=9, frames=14)
+    scenario_kwargs = {"streams": 9, "frames": 14}
 
     def run():
         return {
-            "frozen": ClusterRunner(LeastLoadedPlacement()).run(scenario),
-            "migrating": ClusterRunner(
-                LeastLoadedPlacement(), migration=LoadBalanceMigration()
-            ).run(scenario),
-            "lending": ClusterRunner(
-                LeastLoadedPlacement(), balancer=HeadroomBalancer()
-            ).run(scenario),
+            "frozen": serve(cluster_spec(
+                "shard-outage", scenario_kwargs, "least-loaded",
+            )),
+            "migrating": serve(cluster_spec(
+                "shard-outage", scenario_kwargs, "least-loaded",
+                migration="load-balance",
+            )),
+            "lending": serve(cluster_spec(
+                "shard-outage", scenario_kwargs, "least-loaded",
+                balancer="headroom",
+            )),
         }
 
     results = run_once(benchmark, run)
+    total_capacity = results["frozen"].raw.total_capacity
     print(
         f"\nshard outage at round 4 "
-        f"({scenario.total_capacity / 1e6:.0f} Mcyc/round, 3 shards):"
+        f"({total_capacity / 1e6:.0f} Mcyc/round, 3 shards):"
     )
-    print(cluster_compare_table(list(results.values())))
+    print(cluster_compare_table([r.raw for r in results.values()]))
     with open(results_dir / "cluster_outage.json", "w") as handle:
         json.dump(
-            {name: r.summary() for name, r in results.items()},
+            {name: r.raw.summary() for name, r in results.items()},
             handle,
             indent=2,
         )
@@ -131,6 +136,6 @@ def test_bench_cluster_outage_and_lending(benchmark, results_dir):
     migrating = results["migrating"]
     # migration rescues the degraded shard's streams
     assert migrating.total_skips() < frozen.total_skips()
-    assert migrating.fairness_streams() > frozen.fairness_streams()
+    assert migrating.raw.fairness_streams() > frozen.raw.fairness_streams()
     # everything still served either way (admission was sized pre-outage)
     assert frozen.served_count == migrating.served_count == 9

@@ -9,26 +9,30 @@ encoder streams share one simulated processor.  Two questions:
   demand-blind equal-share opens on a heterogeneous mix (the
   quality-fairness claim of Changuel et al., asserted here and in
   ``tests/streams/test_fleet.py``).
+
+All runs are declared as serving-API ``ServingSpec`` documents and
+executed through ``repro.serve`` — the bench doubles as a regression
+check that the declarative surface reproduces the hand-wired numbers.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import fleet_table
-from repro.streams import (
-    AdmissionController,
-    EqualShareArbiter,
-    FleetRunner,
-    QualityFairArbiter,
-    WeightedShareArbiter,
-    compare_arbiters,
-    heterogeneous_mix,
-    poisson_churn,
-    steady_fleet,
-)
+from repro.serving import ServingSpec, build_scenario, serve
 
 from conftest import run_once
 
 FLEET_SIZES = (4, 8, 16, 28)
+
+
+def fleet_spec(scenario_name, scenario_kwargs, capacity, arbiter, admission):
+    return ServingSpec.from_dict({
+        "topology": "fleet",
+        "scenario": {"name": scenario_name, "kwargs": scenario_kwargs},
+        "capacity": capacity,
+        "arbiter": arbiter,
+        "admission": admission,
+    })
 
 
 def test_bench_fleet_scaling(benchmark, results_dir):
@@ -39,9 +43,11 @@ def test_bench_fleet_scaling(benchmark, results_dir):
     def sweep():
         out = {}
         for count in FLEET_SIZES:
-            scenario = steady_fleet(count, frames=frames)
-            runner = FleetRunner(capacity, WeightedShareArbiter())
-            out[count] = runner.run(scenario)
+            spec = fleet_spec(
+                "steady", {"count": count, "frames": frames},
+                capacity, "weighted-share", "none",
+            )
+            out[count] = serve(spec)
         return out
 
     results = run_once(benchmark, sweep)
@@ -49,7 +55,7 @@ def test_bench_fleet_scaling(benchmark, results_dir):
     with open(results_dir / "fleet_scaling.csv", "w") as handle:
         handle.write("streams,mean_quality,mean_psnr,skips,misses,fairness_q\n")
         for count, result in results.items():
-            summary = result.summary()
+            summary = result.raw.summary()
             print(
                 f"  n={count:>3}: q={summary['mean_quality']:.2f} "
                 f"psnr={summary['mean_psnr']:.2f} skips={summary['skips']} "
@@ -72,25 +78,28 @@ def test_bench_fleet_scaling(benchmark, results_dir):
 
 def test_bench_arbiter_fairness(benchmark, results_dir):
     """Equal-share vs weighted vs quality-fair on a heterogeneous mix."""
-    scenario = heterogeneous_mix(24, frames=20, seed=11)
-    capacity = 0.55 * scenario.total_demand()
+    scenario_kwargs = {"count": 24, "frames": 20, "seed": 11}
+    capacity = {"utilization": 0.55}
 
     def run():
-        return compare_arbiters(
-            scenario,
-            capacity,
-            [EqualShareArbiter(), WeightedShareArbiter(), QualityFairArbiter()],
-        )
+        return {
+            arbiter: serve(fleet_spec(
+                "heterogeneous-mix", scenario_kwargs,
+                capacity, arbiter, "none",
+            ))
+            for arbiter in ("equal-share", "weighted-share", "quality-fair")
+        }
 
     results = run_once(benchmark, run)
     print("\narbiter comparison, 24-stream heterogeneous mix, 55% capacity:")
-    print(fleet_table(list(results.values())))
+    print(fleet_table([r.raw for r in results.values()]))
     with open(results_dir / "fleet_arbiters.csv", "w") as handle:
         handle.write("arbiter,mean_quality,mean_psnr,fairness_q,fairness_psnr\n")
         for name, result in results.items():
             handle.write(
                 f"{name},{result.mean_quality():.4f},{result.mean_psnr():.4f},"
-                f"{result.fairness_quality():.4f},{result.fairness_psnr():.4f}\n"
+                f"{result.fairness_quality():.4f},"
+                f"{result.raw.fairness_psnr():.4f}\n"
             )
 
     equal = results["equal-share"]
@@ -106,21 +115,27 @@ def test_bench_arbiter_fairness(benchmark, results_dir):
 
 def test_bench_churn_admission(benchmark, results_dir):
     """Poisson churn through admission control on a tight capacity."""
-    scenario = poisson_churn(
-        rate=1.0, horizon=25, mean_frames=16, min_frames=8, seed=5, initial=12
+    spec = fleet_spec(
+        "poisson-churn",
+        {
+            "rate": 1.0, "horizon": 25, "mean_frames": 16,
+            "min_frames": 8, "seed": 5, "initial": 12,
+        },
+        10 * 16e6,
+        "quality-fair",
+        "feasibility",
     )
-    capacity = 10 * 16e6
 
     def run():
-        admission = AdmissionController(capacity)
-        runner = FleetRunner(capacity, QualityFairArbiter(), admission)
-        return runner.run(scenario), admission
+        return serve(spec)
 
-    (result, admission), = [run_once(benchmark, run)]
-    summary = result.summary()
+    result = run_once(benchmark, run)
+    offered = len(build_scenario(spec))
+    admission = result.runner.admission
+    summary = result.raw.summary()
     print("\npoisson churn through admission control:")
     print(
-        f"  offered={len(scenario)} served={summary['served']} "
+        f"  offered={offered} served={summary['served']} "
         f"rejected={summary['rejected']} queued_total={admission.queued_count} "
         f"accept={summary['acceptance_ratio']:.3f} "
         f"peak={summary['peak_concurrency']} rounds={summary['rounds']}"
@@ -132,11 +147,11 @@ def test_bench_churn_admission(benchmark, results_dir):
     with open(results_dir / "fleet_churn.csv", "w") as handle:
         handle.write("offered,served,rejected,acceptance,peak,rounds,quality\n")
         handle.write(
-            f"{len(scenario)},{summary['served']},{summary['rejected']},"
+            f"{offered},{summary['served']},{summary['rejected']},"
             f"{summary['acceptance_ratio']},{summary['peak_concurrency']},"
             f"{summary['rounds']},{summary['mean_quality']}\n"
         )
 
     # every stream is eventually decided and the fleet drains
-    assert summary["served"] + summary["rejected"] == len(scenario)
+    assert summary["served"] + summary["rejected"] == offered
     assert summary["rounds"] < 400

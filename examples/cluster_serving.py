@@ -4,7 +4,8 @@ Runs the skewed-arrival cluster scenario (heavy and light streams over
 three unequal shards at fixed total capacity) under four placement
 policies, then shows what migration and the arbiter-of-arbiters
 (headroom lending) recover after blind placement, and finally rides
-through a mid-run shard outage.
+through a mid-run shard outage — every run declared as a serving-API
+``ServingSpec`` and executed by ``repro.serve``.
 
 Usage::
 
@@ -15,38 +16,34 @@ from __future__ import annotations
 
 import argparse
 
+import repro
 from repro.analysis.report import cluster_compare_table, cluster_table
-from repro.cluster import (
-    BestFitPlacement,
-    ClusterRunner,
-    HeadroomBalancer,
-    LeastLoadedPlacement,
-    LoadBalanceMigration,
-    QualityAwarePlacement,
-    RoundRobinPlacement,
-    compare_placements,
-    shard_outage,
-    skewed_cluster,
-)
+from repro.serving import ServingSpec
+
+PLACEMENTS = ("round-robin", "least-loaded", "best-fit", "quality-aware")
+
+
+def _cluster_spec(scenario: dict, **overrides) -> ServingSpec:
+    document = {"topology": "cluster", "scenario": scenario}
+    document.update(overrides)
+    return ServingSpec.from_dict(document)
 
 
 def placement_demo(streams: int) -> None:
-    scenario = skewed_cluster(streams=streams)
-    caps = ", ".join(f"{c / 1e6:.0f}M" for c in scenario.shard_capacities)
+    scenario = {"name": "skewed-cluster", "kwargs": {"streams": streams}}
+    results = {
+        name: repro.serve(_cluster_spec(scenario, placement=name))
+        for name in PLACEMENTS
+    }
+    first = next(iter(results.values())).raw
+    caps = ", ".join(
+        f"{r.capacity / 1e6:.0f}M" for r in first.shard_results
+    )
     print(
-        f"== skewed cluster: {len(scenario.arrivals)} streams over "
+        f"== skewed cluster: {streams} streams over "
         f"shards [{caps}] cyc/round =="
     )
-    results = compare_placements(
-        scenario,
-        [
-            RoundRobinPlacement(),
-            LeastLoadedPlacement(),
-            BestFitPlacement(),
-            QualityAwarePlacement(),
-        ],
-    )
-    print(cluster_compare_table(list(results.values())))
+    print(cluster_compare_table([r.raw for r in results.values()]))
     blind = results["round-robin"]
     aware = results["best-fit"]
     print(
@@ -56,37 +53,42 @@ def placement_demo(streams: int) -> None:
 
 
 def migration_demo(streams: int) -> None:
-    scenario = skewed_cluster(streams=streams)
+    scenario = {"name": "skewed-cluster", "kwargs": {"streams": streams}}
     print("== same scenario, round-robin placement, rescue mechanisms ==")
-    frozen = ClusterRunner(RoundRobinPlacement()).run(scenario)
-    mobile = ClusterRunner(
-        RoundRobinPlacement(), migration=LoadBalanceMigration()
-    ).run(scenario)
-    lending = ClusterRunner(
-        RoundRobinPlacement(), balancer=HeadroomBalancer()
-    ).run(scenario)
-    print(cluster_compare_table([frozen, mobile, lending]))
+    frozen = repro.serve(_cluster_spec(scenario, placement="round-robin"))
+    mobile = repro.serve(
+        _cluster_spec(
+            scenario, placement="round-robin", migration="load-balance"
+        )
+    )
+    lending = repro.serve(
+        _cluster_spec(scenario, placement="round-robin", balancer="headroom")
+    )
+    print(cluster_compare_table([frozen.raw, mobile.raw, lending.raw]))
     print(
         f"migration lifts cross-shard fairness "
-        f"{frozen.fairness_cross_shard():.3f} -> "
-        f"{mobile.fairness_cross_shard():.3f} "
-        f"({mobile.migration_count} moves); headroom lending lent "
-        f"{lending.lent_cycles / 1e6:.0f} Mcyc at zero moves\n"
+        f"{frozen.raw.fairness_cross_shard():.3f} -> "
+        f"{mobile.raw.fairness_cross_shard():.3f} "
+        f"({mobile.raw.migration_count} moves); headroom lending lent "
+        f"{lending.raw.lent_cycles / 1e6:.0f} Mcyc at zero moves\n"
     )
 
 
 def outage_demo() -> None:
-    scenario = shard_outage()
     print(
         "== shard outage: shard-0 drops to 25% capacity at round 4 "
         "(migration on) =="
     )
-    result = ClusterRunner(
-        LeastLoadedPlacement(), migration=LoadBalanceMigration()
-    ).run(scenario)
-    print(cluster_table(result))
+    result = repro.serve(
+        _cluster_spec(
+            {"name": "shard-outage", "kwargs": {}},
+            placement="least-loaded",
+            migration="load-balance",
+        )
+    )
+    print(cluster_table(result.raw))
     print(
-        f"{result.active_migration_count} sessions moved off the "
+        f"{result.raw.active_migration_count} sessions moved off the "
         f"degraded shard; {result.total_skips()} frames skipped "
         f"cluster-wide"
     )

@@ -2,9 +2,11 @@
 
 Runs a heterogeneous 12-stream mix on 60% of its aggregate demand under
 three capacity arbiters, then pushes a flash crowd through admission
-control.  Shows the layer the paper's single-application controller
-scales into: per-stream fine-grain quality control, fleet-level
-capacity arbitration and feasibility-gated admission.
+control — everything declared through the serving API's
+``ServingSpec`` documents and run with ``repro.serve``.  Shows the
+layer the paper's single-application controller scales into:
+per-stream fine-grain quality control, fleet-level capacity
+arbitration and feasibility-gated admission.
 
 Usage::
 
@@ -15,32 +17,33 @@ from __future__ import annotations
 
 import argparse
 
+import repro
 from repro.analysis.report import fleet_table
-from repro.streams import (
-    AdmissionController,
-    EqualShareArbiter,
-    FleetRunner,
-    QualityFairArbiter,
-    WeightedShareArbiter,
-    compare_arbiters,
-    flash_crowd,
-    heterogeneous_mix,
-)
+from repro.serving import CountingObserver, ServingSpec
+
+ARBITERS = ("equal-share", "weighted-share", "quality-fair")
 
 
 def arbitration_demo(streams: int) -> None:
-    scenario = heterogeneous_mix(streams, frames=16, seed=11)
-    capacity = 0.6 * scenario.total_demand()
+    results = {}
+    for arbiter in ARBITERS:
+        spec = ServingSpec.from_dict({
+            "topology": "fleet",
+            "scenario": {
+                "name": "heterogeneous-mix",
+                "kwargs": {"count": streams, "frames": 16, "seed": 11},
+            },
+            "capacity": {"utilization": 0.6},
+            "arbiter": arbiter,
+            "admission": "none",
+        })
+        results[arbiter] = repro.serve(spec)
+    capacity = results["equal-share"].runner.capacity
     print(
         f"== {streams}-stream heterogeneous mix, "
         f"{capacity / 1e6:.0f} Mcyc/round shared (60% of demand) =="
     )
-    results = compare_arbiters(
-        scenario,
-        capacity,
-        [EqualShareArbiter(), WeightedShareArbiter(), QualityFairArbiter()],
-    )
-    print(fleet_table(list(results.values())))
+    print(fleet_table([r.raw for r in results.values()]))
     equal = results["equal-share"].fairness_quality()
     fair = results["quality-fair"].fairness_quality()
     print(
@@ -50,22 +53,34 @@ def arbitration_demo(streams: int) -> None:
 
 
 def admission_demo() -> None:
-    scenario = flash_crowd(base=3, crowd=5, crowd_round=3, frames=10, scale=27)
-    capacity = 20e6  # room for ~4 concurrent qmin streams
+    spec = ServingSpec.from_dict({
+        "topology": "fleet",
+        "scenario": {
+            "name": "flash-crowd",
+            "kwargs": {
+                "base": 3, "crowd": 5, "crowd_round": 3,
+                "frames": 10, "scale": 27,
+            },
+        },
+        "capacity": 20e6,  # room for ~4 concurrent qmin streams
+        "arbiter": "quality-fair",
+        "admission": "feasibility",
+    })
+    observer = CountingObserver()
+    result = repro.serve(spec, observers=[observer])
+    offered = result.served_count + result.rejected_count
     print(
-        f"== flash crowd ({len(scenario)} streams) through admission, "
-        f"{capacity / 1e6:.0f} Mcyc/round =="
+        f"== flash crowd ({offered} streams) through admission, "
+        f"{result.runner.capacity / 1e6:.0f} Mcyc/round =="
     )
-    admission = AdmissionController(capacity)
-    runner = FleetRunner(capacity, QualityFairArbiter(), admission)
-    result = runner.run(scenario)
     summary = result.summary()
     print(
-        f"offered={len(scenario)} served={summary['served']} "
-        f"rejected={summary['rejected']} queued={admission.queued_count} "
-        f"peak concurrency={summary['peak_concurrency']}"
+        f"offered={offered} served={summary['served']} "
+        f"rejected={summary['rejected']} "
+        f"queued={result.runner.admission.queued_count} "
+        f"peak concurrency={result.raw.peak_concurrency}"
     )
-    for outcome in result.streams:
+    for outcome in result.outcomes:
         delay = outcome.admitted_round - outcome.spec.arrival_round
         tag = f" (waited {delay} rounds)" if delay else ""
         print(
@@ -73,6 +88,7 @@ def admission_demo() -> None:
             f"psnr={outcome.result.mean_psnr():.2f} "
             f"skips={outcome.result.skip_count}{tag}"
         )
+    print(f"observer counted {observer.counts()}")
 
 
 def main() -> None:

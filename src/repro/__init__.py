@@ -18,7 +18,17 @@ Quick start::
     system = app.system(budget=12_000_000)
     controller = TableDrivenController(system)
 
-See ``examples/quickstart.py`` and README.md.
+Serving (the scaled-out layers) has one declarative entry point::
+
+    import repro
+
+    result = repro.serve({
+        "scenario": {"name": "steady", "kwargs": {"count": 4}},
+        "capacity": 64e6,
+    })
+
+See ``examples/quickstart.py``, ``examples/serving_spec.py``, and
+README.md.
 """
 
 from repro.core import (
@@ -42,16 +52,30 @@ __all__ = [
     "CyclicApplication",
     "DeadlineFunction",
     "ParameterizedSystem",
+    "PolicySpec",
     "PrecedenceGraph",
     "QualityAssignment",
     "QualityDeadlineTable",
     "QualitySet",
     "QualityTimeTable",
     "ReferenceController",
+    "RoundObserver",
+    "ServingResult",
+    "ServingSpec",
     "TableDrivenController",
     "__version__",
     "mpeg4_encoder_application",
+    "serve",
 ]
+
+#: Serving-layer names re-exported lazily (PEP 562) so importing the
+#: core package stays light; ``repro.serve`` below is the entry point.
+_SERVING_EXPORTS = (
+    "PolicySpec",
+    "RoundObserver",
+    "ServingResult",
+    "ServingSpec",
+)
 
 
 def mpeg4_encoder_application(macroblocks: int = 1620) -> CyclicApplication:
@@ -63,3 +87,25 @@ def mpeg4_encoder_application(macroblocks: int = 1620) -> CyclicApplication:
     from repro.video.pipeline import macroblock_application
 
     return macroblock_application(macroblocks)
+
+
+def serve(spec, observers=()):
+    """Run a declarative serving spec — fleet or cluster — end to end.
+
+    The one serving entry point: ``spec`` is a
+    :class:`~repro.serving.spec.ServingSpec`, its dict form, or a JSON
+    string; returns a :class:`~repro.serving.result.ServingResult`.
+    Convenience re-export of :func:`repro.serving.serve` (imported
+    lazily — the serving layers load on first use).
+    """
+    from repro.serving import serve as serve_spec
+
+    return serve_spec(spec, observers=observers)
+
+
+def __getattr__(name: str):
+    if name in _SERVING_EXPORTS:
+        import repro.serving
+
+        return getattr(repro.serving, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

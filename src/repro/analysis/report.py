@@ -165,6 +165,45 @@ def cluster_compare_table(results: Sequence) -> str:
     return _aligned_table(headers, rows)
 
 
+def serving_table(results: Sequence) -> str:
+    """Side-by-side topology-independent metrics for serving runs.
+
+    ``results`` are :class:`repro.serving.result.ServingResult` objects
+    (fleet and cluster runs mix freely — the unified summary keys are
+    what make one table possible).  The optional ``label`` column uses
+    each result's spec (arbiter or placement name) when available.
+    """
+    columns = (
+        ("scenario", "scenario", "s"),
+        ("topology", "topology", "s"),
+        ("policy", "policy", "s"),
+        ("served", "served", "d"),
+        ("rej", "rejected", "d"),
+        ("accept", "acceptance_ratio", ".3f"),
+        ("frames", "frames", "d"),
+        ("skips", "skips", "d"),
+        ("misses", "deadline_misses", "d"),
+        ("q", "mean_quality", ".2f"),
+        ("PSNR", "mean_psnr", ".2f"),
+        ("fair(q)", "fairness_quality", ".3f"),
+    )
+    summaries = []
+    for result in results:
+        summary = result.summary()
+        spec = result.spec
+        if spec is None:
+            summary["policy"] = "-"
+        elif spec.topology == "fleet":
+            summary["policy"] = spec.arbiter.name
+        else:
+            summary["policy"] = spec.placement.name
+        summaries.append(summary)
+    rows = [[_format(summary[key], spec) for _, key, spec in columns]
+            for summary in summaries]
+    headers = [name for name, _, _ in columns]
+    return _aligned_table(headers, rows)
+
+
 def fleet_stream_table(result) -> str:
     """Per-stream breakdown of one fleet run (label, rounds, quality)."""
     rows = []

@@ -212,14 +212,12 @@ class LoadBalanceMigration(QueueRebalanceMigration):
 
 
 def make_migration(name: str, **kwargs) -> MigrationPolicy:
-    """Migration factory by policy name (bench/CLI convenience)."""
-    table = {
-        NoMigration.name: NoMigration,
-        QueueRebalanceMigration.name: QueueRebalanceMigration,
-        LoadBalanceMigration.name: LoadBalanceMigration,
-    }
-    if name not in table:
-        raise ConfigurationError(
-            f"unknown migration {name!r}; expected one of {sorted(table)}"
-        )
-    return table[name](**kwargs)
+    """Migration factory by policy name.
+
+    Thin alias of the serving layer's ``MIGRATIONS`` registry
+    (:mod:`repro.serving.registry`); policies registered with
+    :func:`repro.serving.register_migration` resolve here too.
+    """
+    from repro.serving.registry import MIGRATIONS
+
+    return MIGRATIONS.create(name, **kwargs)

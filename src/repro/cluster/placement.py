@@ -148,15 +148,12 @@ class QualityAwarePlacement(PlacementPolicy):
 
 
 def make_placement(name: str, **kwargs) -> PlacementPolicy:
-    """Placement factory by policy name (bench/CLI convenience)."""
-    table = {
-        RoundRobinPlacement.name: RoundRobinPlacement,
-        LeastLoadedPlacement.name: LeastLoadedPlacement,
-        BestFitPlacement.name: BestFitPlacement,
-        QualityAwarePlacement.name: QualityAwarePlacement,
-    }
-    if name not in table:
-        raise ConfigurationError(
-            f"unknown placement {name!r}; expected one of {sorted(table)}"
-        )
-    return table[name](**kwargs)
+    """Placement factory by policy name.
+
+    Thin alias of the serving layer's ``PLACEMENTS`` registry
+    (:mod:`repro.serving.registry`); policies registered with
+    :func:`repro.serving.register_placement` resolve here too.
+    """
+    from repro.serving.registry import PLACEMENTS
+
+    return PLACEMENTS.create(name, **kwargs)

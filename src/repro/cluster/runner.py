@@ -207,8 +207,15 @@ def build_shards(
     admission_mode: str = "average",
     constraint_mode: str = "both",
     granularity: int = 1,
+    admission_factory=None,
 ) -> list[Shard]:
-    """Convenience: one shard per capacity, fresh arbiter + admission each."""
+    """Convenience: one shard per capacity, fresh arbiter + admission each.
+
+    ``admission_factory`` (called as ``factory(capacity)``) overrides
+    the default per-shard :class:`AdmissionController` — the serving
+    layer uses it to build registry-selected admission gates; returning
+    ``None`` leaves that shard ungated.
+    """
     shards = []
     for i, capacity in enumerate(capacities):
         # arbiters are stateless (allocate is pure), so one instance
@@ -216,11 +223,12 @@ def build_shards(
         shard_arbiter = (
             make_arbiter(arbiter) if isinstance(arbiter, str) else arbiter
         )
-        gate = (
-            AdmissionController(capacity, mode=admission_mode)
-            if admission
-            else None
-        )
+        if admission_factory is not None:
+            gate = admission_factory(capacity)
+        elif admission:
+            gate = AdmissionController(capacity, mode=admission_mode)
+        else:
+            gate = None
         shards.append(
             Shard(
                 shard_id=f"shard-{i}",
@@ -247,6 +255,12 @@ class ClusterRunner:
     balancer:
         Optional :class:`HeadroomBalancer` lending idle capacity
         between shards each round.
+    observers:
+        :class:`~repro.serving.observers.RoundObserver` instances whose
+        hooks fire per shard (``on_round`` / ``on_admit`` /
+        ``on_reject`` / ``on_depart``, with the shard's id) and per
+        executed migration move (``on_migrate``).  Observers are never
+        read back, so they cannot change results.
     shard_kwargs:
         Passed to :func:`build_shards` (arbiter, admission, ...).
     """
@@ -257,6 +271,7 @@ class ClusterRunner:
         migration: MigrationPolicy | None = None,
         balancer: HeadroomBalancer | None = None,
         max_rounds: int = 100_000,
+        observers=(),
         **shard_kwargs,
     ) -> None:
         if max_rounds < 1:
@@ -265,7 +280,23 @@ class ClusterRunner:
         self.migration = migration
         self.balancer = balancer
         self.max_rounds = max_rounds
+        self.observers = tuple(observers)
         self.shard_kwargs = shard_kwargs
+
+    def reset(self) -> None:
+        """Restore the just-constructed state for another ``run``.
+
+        Clears every policy's cross-run memory (placement rotation,
+        migration residency records, balancer lending tally).  ``run``
+        calls this on entry, so back-to-back runs on one instance are
+        bit-identical to fresh-runner runs; it is public so callers
+        holding a runner can also discard state explicitly.
+        """
+        self.placement.reset()
+        if self.migration is not None:
+            self.migration.reset()
+        if self.balancer is not None:
+            self.balancer.reset()
 
     def run(
         self,
@@ -279,11 +310,7 @@ class ClusterRunner:
         """
         # a run is self-contained: replaying the same scenario on the
         # same runner must reproduce it exactly
-        self.placement.reset()
-        if self.migration is not None:
-            self.migration.reset()
-        if self.balancer is not None:
-            self.balancer.reset()
+        self.reset()
         if shards is None:
             shards = build_shards(scenario.shard_capacities, **self.shard_kwargs)
         if len(shards) != scenario.shard_count:
@@ -291,6 +318,8 @@ class ClusterRunner:
                 f"scenario expects {scenario.shard_count} shards, "
                 f"got {len(shards)}"
             )
+        for shard in shards:
+            shard.observers = self.observers
         result = ClusterResult(
             scenario_name=scenario.name,
             placement_name=getattr(
@@ -332,6 +361,8 @@ class ClusterRunner:
                 for move in moves:
                     if self._execute(move, by_id, round_index):
                         result.migrations.append(move)
+                        for observer in self.observers:
+                            observer.on_migrate(move, round_index)
             # 4. queued streams that now fit start
             for shard in shards:
                 shard.admit_queued(
@@ -341,7 +372,7 @@ class ClusterRunner:
             # events left — nothing will ever free capacity, flush
             if round_index > horizon and not any(s.active for s in shards):
                 for shard in shards:
-                    shard.reject_stuck_queue()
+                    shard.reject_stuck_queue(round_index)
                     # whatever survived the flush fits on an idle shard
                     shard.admit_queued(round_index, force=True)
             # 5 + 6. headroom lending, then every shard steps

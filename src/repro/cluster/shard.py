@@ -54,6 +54,10 @@ class Shard:
         equal the shard's.  ``None`` admits everything.
     constraint_mode / granularity:
         Controller settings applied to every session on this shard.
+    observers:
+        :class:`~repro.serving.observers.RoundObserver` instances whose
+        hooks fire with this shard's id.  The cluster runner overwrites
+        this with its own observer set at the start of every run.
     """
 
     def __init__(
@@ -64,9 +68,11 @@ class Shard:
         admission: AdmissionController | None = None,
         constraint_mode: str = "both",
         granularity: int = 1,
+        observers=(),
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError("shard capacity must be positive")
+        self.observers = tuple(observers)
         self.shard_id = shard_id
         self.capacity = capacity
         self.nominal_capacity = capacity
@@ -170,6 +176,8 @@ class Shard:
             self._start(spec, round_index)
         elif verdict.decision is AdmissionDecision.REJECTED:
             self.rejected.append(spec)
+            for observer in self.observers:
+                observer.on_reject(spec, round_index, shard_id=self.shard_id)
         return verdict.decision
 
     def admit_queued(self, round_index: int, force: bool = False) -> int:
@@ -194,7 +202,7 @@ class Shard:
         if self.admission is not None:
             self.admission.capacity = capacity
 
-    def reject_stuck_queue(self) -> int:
+    def reject_stuck_queue(self, round_index: int | None = None) -> int:
         """Reject queued specs that can no longer fit even when idle.
 
         After a capacity drop, a spec that was queued as "feasible
@@ -215,6 +223,10 @@ class Shard:
                 self.admission.rejected_count += 1
                 self.rejected.append(spec)
                 flushed += 1
+                for observer in self.observers:
+                    observer.on_reject(
+                        spec, round_index, shard_id=self.shard_id
+                    )
         self.admission.queue.extend(kept)
         return flushed
 
@@ -287,9 +299,11 @@ class Shard:
         that finished this round.
         """
         self.rounds_stepped += 1
-        if not self.active:
-            return 0
         pool = self.capacity if capacity is None else capacity
+        if not self.active:
+            for observer in self.observers:
+                observer.on_round(round_index, {}, pool, shard_id=self.shard_id)
+            return 0
         self.peak_concurrency = max(self.peak_concurrency, len(self.active))
         self.demand_cycles += self.active_demand
         requests = [
@@ -303,23 +317,30 @@ class Shard:
             for s in self.active
         ]
         allocations = self.arbiter.allocate(requests, pool)
+        for observer in self.observers:
+            observer.on_round(
+                round_index, allocations, pool, shard_id=self.shard_id
+            )
         finished = 0
         still_active: list[StreamSession] = []
         for session in self.active:
             step = session.step(allocations[session.stream_id])
             if step.finished:
                 spec = self.spec_of.pop(session.stream_id)
-                self.outcomes.append(
-                    StreamOutcome(
-                        spec=spec,
-                        result=session.result(),
-                        admitted_round=self.admitted_round.pop(session.stream_id),
-                        finished_round=round_index,
-                    )
+                outcome = StreamOutcome(
+                    spec=spec,
+                    result=session.result(),
+                    admitted_round=self.admitted_round.pop(session.stream_id),
+                    finished_round=round_index,
                 )
+                self.outcomes.append(outcome)
                 if self.admission is not None:
                     self.admission.release(spec.config)
                 finished += 1
+                for observer in self.observers:
+                    observer.on_depart(
+                        outcome, round_index, shard_id=self.shard_id
+                    )
             else:
                 still_active.append(session)
         self.active = still_active
@@ -338,6 +359,8 @@ class Shard:
         self.active.append(session)
         self.spec_of[spec.name] = spec
         self.admitted_round[spec.name] = round_index
+        for observer in self.observers:
+            observer.on_admit(spec, round_index, shard_id=self.shard_id)
 
     # ------------------------------------------------------------------
     # results

@@ -1,0 +1,90 @@
+"""One serving API: declarative specs, policy registries, unified runs.
+
+The serving layers beneath this package expose three hand-wired entry
+points (single-run convenience functions, ``FleetRunner``,
+``ClusterRunner``).  This package puts one declarative surface over all
+of them:
+
+* :class:`ServingSpec` — a JSON-round-trippable document naming the
+  topology, capacity, workload, and every policy **by registry name
+  with kwargs**, validated eagerly with field-precise errors;
+* the policy registries (:data:`ARBITERS`, :data:`ADMISSIONS`,
+  :data:`PLACEMENTS`, :data:`MIGRATIONS`, :data:`BALANCERS`,
+  :data:`SCENARIOS`) and their ``register_*`` helpers — third-party
+  policies plug into every entry point without touching runner code;
+* :class:`ServingRunner` — the protocol both runners implement
+  (``run`` + ``reset``), and :func:`serve`, the facade that builds and
+  runs a spec and returns a unified :class:`ServingResult`;
+* :class:`RoundObserver` — lifecycle hooks (``on_round`` / ``on_admit``
+  / ``on_reject`` / ``on_migrate`` / ``on_depart``) threaded through
+  both runners, the attachment point for windowed metrics and
+  autoscaling.
+
+Quick start::
+
+    import repro
+
+    result = repro.serve({
+        "topology": "fleet",
+        "scenario": {"name": "heterogeneous-mix",
+                     "kwargs": {"count": 12, "frames": 16}},
+        "capacity": {"utilization": 0.6},
+        "arbiter": "quality-fair",
+    })
+    print(result.summary())
+"""
+
+from repro.serving.observers import CountingObserver, RoundObserver
+from repro.serving.registry import (
+    ADMISSIONS,
+    ARBITERS,
+    BALANCERS,
+    MIGRATIONS,
+    PLACEMENTS,
+    SCENARIOS,
+    TOPOLOGIES,
+    PolicyRegistry,
+    register_admission,
+    register_arbiter,
+    register_balancer,
+    register_migration,
+    register_placement,
+    register_scenario,
+    scenario_topology,
+)
+from repro.serving.result import ServingResult
+from repro.serving.runner import (
+    ServingRunner,
+    build_runner,
+    build_scenario,
+    serve,
+)
+from repro.serving.spec import CONSTRAINT_MODES, PolicySpec, ServingSpec
+
+__all__ = [
+    "ADMISSIONS",
+    "ARBITERS",
+    "BALANCERS",
+    "CONSTRAINT_MODES",
+    "CountingObserver",
+    "MIGRATIONS",
+    "PLACEMENTS",
+    "PolicyRegistry",
+    "PolicySpec",
+    "RoundObserver",
+    "SCENARIOS",
+    "ServingResult",
+    "ServingRunner",
+    "ServingSpec",
+    "TOPOLOGIES",
+    "build_runner",
+    "build_scenario",
+    "register_admission",
+    "register_arbiter",
+    "register_balancer",
+    "register_migration",
+    "register_placement",
+    "register_scenario",
+    "scenario_topology",
+    "serve",
+]

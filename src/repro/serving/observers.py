@@ -1,0 +1,102 @@
+"""Lifecycle observers: hooks into the serving loop, zero side effects.
+
+A :class:`RoundObserver` receives the serving loop's lifecycle events —
+one ``on_round`` per scheduling round (per shard in a cluster), plus
+admission, rejection, migration, and departure events.  Both
+:class:`~repro.streams.fleet.FleetRunner` and
+:class:`~repro.cluster.runner.ClusterRunner` accept a sequence of
+observers and invoke every hook at the matching point of their loops;
+the runners never read anything back, so observers cannot change a
+run's results (asserted by ``tests/serving/test_serving_observers.py``).
+
+This is the attachment point for windowed long-horizon metrics,
+autoscaling controllers, and live dashboards: subclass, override the
+hooks you care about (all default to no-ops), and pass the instance to
+the runner or to :func:`repro.serving.serve`.
+
+Hook conventions
+----------------
+
+* ``shard_id`` is ``None`` for single-pool (fleet) runs and the shard's
+  id for cluster runs; ``on_round`` fires once per round per pool, even
+  when the pool is idle (``allocations == {}``).
+* ``on_admit`` fires when a stream starts (immediately on arrival or
+  later from the admission queue); ``on_reject`` when it is finally
+  refused; ``on_depart`` when it finishes, with its full
+  :class:`~repro.streams.fleet.StreamOutcome`.
+* ``on_migrate`` fires once per executed
+  :class:`~repro.cluster.migration.MigrationMove` (cluster only).
+"""
+
+from __future__ import annotations
+
+
+class RoundObserver:
+    """Base lifecycle observer; every hook is a no-op.
+
+    Subclass and override what you need — the runners call every hook
+    unconditionally, so overriding none of them observes nothing and
+    costs (almost) nothing.
+    """
+
+    def on_round(self, round_index, allocations, capacity, shard_id=None):
+        """One scheduling round arbitrated on one pool.
+
+        ``allocations`` maps stream id to granted cycles this round
+        (empty when the pool had no active sessions); ``capacity`` is
+        the pool the arbiter split — the *effective* budget when a
+        headroom balancer lent cycles.
+        """
+
+    def on_admit(self, spec, round_index, shard_id=None):
+        """``spec`` was admitted and its session started this round."""
+
+    def on_reject(self, spec, round_index, shard_id=None):
+        """``spec`` was finally rejected (at arrival or queue flush)."""
+
+    def on_migrate(self, move, round_index):
+        """One queued or active migration move was executed."""
+
+    def on_depart(self, outcome, round_index, shard_id=None):
+        """A stream finished; ``outcome`` carries its full run result."""
+
+
+class CountingObserver(RoundObserver):
+    """Tallies every lifecycle event — the smoke-test observer.
+
+    ``rounds`` counts ``on_round`` invocations (rounds x pools),
+    the rest count streams/moves.  Useful as a cheap cross-check that
+    runner bookkeeping and observer plumbing agree, and as the simplest
+    possible example of the API.
+    """
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.migrated = 0
+        self.departed = 0
+
+    def on_round(self, round_index, allocations, capacity, shard_id=None):
+        self.rounds += 1
+
+    def on_admit(self, spec, round_index, shard_id=None):
+        self.admitted += 1
+
+    def on_reject(self, spec, round_index, shard_id=None):
+        self.rejected += 1
+
+    def on_migrate(self, move, round_index):
+        self.migrated += 1
+
+    def on_depart(self, outcome, round_index, shard_id=None):
+        self.departed += 1
+
+    def counts(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "migrated": self.migrated,
+            "departed": self.departed,
+        }

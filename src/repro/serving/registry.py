@@ -1,0 +1,236 @@
+"""String-keyed policy registries: the serving layer's extension point.
+
+Every pluggable policy family of the serving stack — capacity arbiters,
+admission gates, placement, migration, headroom balancing, and the
+scenario generators themselves — is resolved **by name with kwargs**
+through one :class:`PolicyRegistry` instance per family.  A
+:class:`~repro.serving.spec.ServingSpec` validates its policy names
+against these tables eagerly, and :func:`repro.serving.serve` builds
+the runner from them, so a third-party policy plugs into every entry
+point (specs, examples, benches, the CLI-ish factories) with one
+``register_*`` call and zero runner changes::
+
+    from repro.serving import register_arbiter
+
+    @register_arbiter("lottery")
+    class LotteryArbiter(CapacityArbiter):
+        name = "lottery"
+        ...
+
+    serve({"scenario": {"name": "steady", "kwargs": {"count": 4}},
+           "capacity": 64e6, "arbiter": "lottery"})
+
+The legacy factories (``repro.streams.arbiter.make_arbiter``,
+``repro.cluster.placement.make_placement``,
+``repro.cluster.migration.make_migration``) are thin aliases over these
+registries, so policies registered here are visible there too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.migration import (
+    LoadBalanceMigration,
+    NoMigration,
+    QueueRebalanceMigration,
+)
+from repro.cluster.placement import (
+    BestFitPlacement,
+    LeastLoadedPlacement,
+    QualityAwarePlacement,
+    RoundRobinPlacement,
+)
+from repro.cluster.runner import HeadroomBalancer
+from repro.cluster.scenarios import (
+    flash_crowd_split,
+    shard_outage,
+    skewed_cluster,
+)
+from repro.errors import ConfigurationError
+from repro.streams.admission import AdmissionController
+from repro.streams.arbiter import (
+    EqualShareArbiter,
+    QualityFairArbiter,
+    WeightedShareArbiter,
+)
+from repro.streams.scenarios import (
+    flash_crowd,
+    heterogeneous_mix,
+    poisson_churn,
+    steady_fleet,
+)
+
+
+class PolicyRegistry:
+    """A named factory table for one policy family.
+
+    Entries map a policy name to a factory callable plus optional
+    metadata (the scenario registry records each generator's topology
+    there).  Registration rejects duplicates unless ``overwrite=True``
+    so two plugins cannot silently shadow each other.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, tuple[Callable, dict]] = {}
+
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Callable | None = None,
+        *,
+        overwrite: bool = False,
+        **meta,
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator."""
+        if factory is None:
+            return lambda f: self.register(name, f, overwrite=overwrite, **meta)
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(
+                f"{self.kind} name must be a non-empty string, got {name!r}"
+            )
+        if not callable(factory):
+            raise ConfigurationError(
+                f"{self.kind} factory for {name!r} must be callable"
+            )
+        if name in self._entries and not overwrite:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered "
+                "(pass overwrite=True to replace it)"
+            )
+        self._entries[name] = (factory, meta)
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Drop an entry (plugin teardown, tests)."""
+        if name not in self._entries:
+            raise ConfigurationError(f"unknown {self.kind} {name!r}")
+        del self._entries[name]
+
+    # ------------------------------------------------------------------
+
+    def factory(self, name: str) -> Callable:
+        try:
+            return self._entries[name][0]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; "
+                f"expected one of {self.names()}"
+            ) from None
+
+    def meta(self, name: str) -> dict:
+        self.factory(name)  # raises on unknown
+        return dict(self._entries[name][1])
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the named policy with the given arguments."""
+        return self.factory(name)(*args, **kwargs)
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+
+#: The serving stack's policy families, seeded with the built-ins below.
+ARBITERS = PolicyRegistry("arbiter")
+ADMISSIONS = PolicyRegistry("admission")
+PLACEMENTS = PolicyRegistry("placement")
+MIGRATIONS = PolicyRegistry("migration")
+BALANCERS = PolicyRegistry("balancer")
+SCENARIOS = PolicyRegistry("scenario")
+
+#: Topologies a scenario generator may declare (and a spec may request).
+TOPOLOGIES = ("fleet", "cluster")
+
+
+def register_arbiter(name, factory=None, *, overwrite=False):
+    """Register a :class:`~repro.streams.arbiter.CapacityArbiter` factory."""
+    return ARBITERS.register(name, factory, overwrite=overwrite)
+
+
+def register_admission(name, factory=None, *, overwrite=False):
+    """Register an admission factory called as ``factory(capacity, **kw)``.
+
+    Returning ``None`` means the pool runs ungated (see ``"none"``).
+    """
+    return ADMISSIONS.register(name, factory, overwrite=overwrite)
+
+
+def register_placement(name, factory=None, *, overwrite=False):
+    """Register a :class:`~repro.cluster.placement.PlacementPolicy` factory."""
+    return PLACEMENTS.register(name, factory, overwrite=overwrite)
+
+
+def register_migration(name, factory=None, *, overwrite=False):
+    """Register a :class:`~repro.cluster.migration.MigrationPolicy` factory."""
+    return MIGRATIONS.register(name, factory, overwrite=overwrite)
+
+
+def register_balancer(name, factory=None, *, overwrite=False):
+    """Register a cross-shard balancer factory (``None`` = no lending)."""
+    return BALANCERS.register(name, factory, overwrite=overwrite)
+
+
+def register_scenario(name, factory=None, *, topology="fleet", overwrite=False):
+    """Register a scenario generator, tagged with its topology.
+
+    ``topology="fleet"`` generators return a
+    :class:`~repro.streams.scenarios.Scenario`; ``"cluster"`` generators
+    return a :class:`~repro.cluster.scenarios.ClusterScenario`.  Specs
+    check the tag eagerly so a cluster workload can never be handed to a
+    fleet runner.
+    """
+    if topology not in TOPOLOGIES:
+        raise ConfigurationError(
+            f"scenario topology must be one of {TOPOLOGIES}, got {topology!r}"
+        )
+    return SCENARIOS.register(
+        name, factory, overwrite=overwrite, topology=topology
+    )
+
+
+def scenario_topology(name: str) -> str:
+    """Which topology the named scenario generator serves."""
+    return SCENARIOS.meta(name)["topology"]
+
+
+# ----------------------------------------------------------------------
+# built-ins
+# ----------------------------------------------------------------------
+
+register_arbiter("equal-share", EqualShareArbiter)
+register_arbiter("weighted-share", WeightedShareArbiter)
+register_arbiter("quality-fair", QualityFairArbiter)
+
+
+def _no_admission(capacity=None):
+    """The ungated pool: every offer is accepted outright."""
+    return None
+
+
+register_admission("feasibility", AdmissionController)
+register_admission("none", _no_admission)
+
+register_placement("round-robin", RoundRobinPlacement)
+register_placement("least-loaded", LeastLoadedPlacement)
+register_placement("best-fit", BestFitPlacement)
+register_placement("quality-aware", QualityAwarePlacement)
+
+register_migration("none", NoMigration)
+register_migration("queue-rebalance", QueueRebalanceMigration)
+register_migration("load-balance", LoadBalanceMigration)
+
+register_balancer("headroom", HeadroomBalancer)
+
+register_scenario("steady", steady_fleet, topology="fleet")
+register_scenario("heterogeneous-mix", heterogeneous_mix, topology="fleet")
+register_scenario("poisson-churn", poisson_churn, topology="fleet")
+register_scenario("flash-crowd", flash_crowd, topology="fleet")
+register_scenario("skewed-cluster", skewed_cluster, topology="cluster")
+register_scenario("shard-outage", shard_outage, topology="cluster")
+register_scenario("flash-crowd-split", flash_crowd_split, topology="cluster")

@@ -1,0 +1,143 @@
+"""The unified serving result: one accessor surface over both topologies.
+
+:func:`repro.serving.serve` returns a :class:`ServingResult` whatever
+the spec's topology, so callers (report tables, benches, assertions)
+read acceptance, fairness, quality, skips/misses, and per-stream
+outcomes without caring whether a
+:class:`~repro.streams.fleet.FleetResult` or a
+:class:`~repro.cluster.runner.ClusterResult` sits underneath.  The raw
+topology-specific result stays reachable as ``result.raw`` for
+cluster-only detail (migrations, lent cycles, per-shard breakdowns).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import jain_fairness_index
+from repro.cluster.runner import ClusterResult
+from repro.streams.fleet import FleetResult, StreamOutcome
+from repro.streams.scenarios import StreamSpec
+
+
+@dataclass
+class ServingResult:
+    """One serving run, fleet or cluster, behind shared accessors.
+
+    ``spec`` is the :class:`~repro.serving.spec.ServingSpec` that
+    produced the run (``None`` when wrapping a hand-constructed
+    result); ``runner`` is the runner instance that executed it, kept
+    for post-run observability (e.g. ``runner.admission.queued_count``).
+    """
+
+    raw: FleetResult | ClusterResult
+    spec: object | None = None
+    runner: object | None = None
+
+    @property
+    def topology(self) -> str:
+        return "fleet" if isinstance(self.raw, FleetResult) else "cluster"
+
+    @property
+    def scenario_name(self) -> str:
+        return self.raw.scenario_name
+
+    @property
+    def rounds(self) -> int:
+        return self.raw.rounds
+
+    # ------------------------------------------------------------------
+    # per-stream views
+    # ------------------------------------------------------------------
+
+    @property
+    def outcomes(self) -> list[StreamOutcome]:
+        """Every served stream's outcome, across all pools."""
+        if isinstance(self.raw, FleetResult):
+            return list(self.raw.streams)
+        return [o for shard in self.raw.shard_results for o in shard.streams]
+
+    @property
+    def rejected(self) -> list[StreamSpec]:
+        if isinstance(self.raw, FleetResult):
+            return list(self.raw.rejected)
+        return [s for shard in self.raw.shard_results for s in shard.rejected]
+
+    def per_stream_quality(self) -> list[float]:
+        return [o.result.mean_quality() for o in self.outcomes]
+
+    def per_stream_psnr(self) -> list[float]:
+        return [o.result.mean_psnr() for o in self.outcomes]
+
+    # ------------------------------------------------------------------
+    # shared aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def served_count(self) -> int:
+        return self.raw.served_count
+
+    @property
+    def rejected_count(self) -> int:
+        return self.raw.rejected_count
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.raw.acceptance_ratio
+
+    def fairness_quality(self) -> float:
+        """Jain index over every served stream's mean quality."""
+        return jain_fairness_index(self.per_stream_quality())
+
+    def mean_quality(self) -> float:
+        values = [v for v in self.per_stream_quality() if np.isfinite(v)]
+        return float(np.mean(values)) if values else math.nan
+
+    def mean_psnr(self) -> float:
+        values = [v for v in self.per_stream_psnr() if np.isfinite(v)]
+        return float(np.mean(values)) if values else math.nan
+
+    def total_skips(self) -> int:
+        return sum(o.result.skip_count for o in self.outcomes)
+
+    def total_frames(self) -> int:
+        return sum(len(o.result) for o in self.outcomes)
+
+    def total_deadline_misses(self) -> int:
+        return sum(o.result.deadline_miss_count for o in self.outcomes)
+
+    def summary(self) -> dict:
+        """Topology-independent headline numbers (stable keys).
+
+        One pass over the outcome list (the ``outcomes`` property
+        re-flattens per-shard results on every access, and benches call
+        ``summary`` in loops).
+        """
+        outcomes = self.outcomes
+        qualities = [o.result.mean_quality() for o in outcomes]
+        psnrs = [o.result.mean_psnr() for o in outcomes]
+        finite_q = [v for v in qualities if np.isfinite(v)]
+        finite_p = [v for v in psnrs if np.isfinite(v)]
+        return {
+            "topology": self.topology,
+            "scenario": self.scenario_name,
+            "rounds": self.rounds,
+            "served": self.served_count,
+            "rejected": self.rejected_count,
+            "acceptance_ratio": round(self.acceptance_ratio, 4),
+            "frames": sum(len(o.result) for o in outcomes),
+            "skips": sum(o.result.skip_count for o in outcomes),
+            "deadline_misses": sum(
+                o.result.deadline_miss_count for o in outcomes
+            ),
+            "mean_quality": round(
+                float(np.mean(finite_q)) if finite_q else math.nan, 3
+            ),
+            "mean_psnr": round(
+                float(np.mean(finite_p)) if finite_p else math.nan, 3
+            ),
+            "fairness_quality": round(jain_fairness_index(qualities), 4),
+        }

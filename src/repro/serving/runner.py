@@ -1,0 +1,163 @@
+"""The unified runner protocol and the ``serve`` facade.
+
+:class:`ServingRunner` is the structural contract both
+:class:`~repro.streams.fleet.FleetRunner` and
+:class:`~repro.cluster.runner.ClusterRunner` satisfy: ``run(scenario)``
+serves one scenario to completion, ``reset()`` clears any cross-run
+state so one runner instance can serve many scenarios bit-identically.
+
+:func:`serve` is the one entry point the rest of the repo (examples,
+benches, report tables) builds on: it takes a declarative
+:class:`~repro.serving.spec.ServingSpec` (or its dict/JSON form),
+instantiates every policy from the registries, runs the matching
+topology, and returns a unified
+:class:`~repro.serving.result.ServingResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.cluster.runner import ClusterRunner
+from repro.cluster.scenarios import ClusterScenario
+from repro.errors import ConfigurationError
+from repro.serving.registry import (
+    ADMISSIONS,
+    ARBITERS,
+    BALANCERS,
+    MIGRATIONS,
+    PLACEMENTS,
+    SCENARIOS,
+)
+from repro.serving.result import ServingResult
+from repro.serving.spec import PolicySpec, ServingSpec
+from repro.streams.fleet import FleetRunner
+from repro.streams.scenarios import Scenario
+
+
+@runtime_checkable
+class ServingRunner(Protocol):
+    """What every serving topology's runner provides.
+
+    ``run`` serves one scenario to completion and returns that
+    topology's result; ``reset`` restores the runner to its
+    just-constructed state so back-to-back ``run`` calls replay
+    bit-identically (see ``tests/serving/test_serving_reset.py``).
+    """
+
+    def run(self, scenario): ...
+
+    def reset(self) -> None: ...
+
+
+def _coerce_spec(spec) -> ServingSpec:
+    if isinstance(spec, ServingSpec):
+        return spec
+    if isinstance(spec, str):
+        return ServingSpec.from_json(spec)
+    if isinstance(spec, Mapping):
+        return ServingSpec.from_dict(spec)
+    raise ConfigurationError(
+        f"serve() takes a ServingSpec, mapping, or JSON string, "
+        f"got {type(spec).__name__}"
+    )
+
+
+def _create(registry, policy: PolicySpec, field_name: str, *args):
+    """Registry create with kwarg mistakes reported against the field."""
+    try:
+        return registry.create(policy.name, *args, **policy.kwargs)
+    except TypeError as error:
+        # chained, not suppressed: the TypeError may also be a bug
+        # inside a third-party factory, so keep its traceback
+        raise ConfigurationError(
+            f"{field_name}: cannot construct {policy.name!r} "
+            f"with kwargs {policy.kwargs!r}: {error}"
+        ) from error
+
+
+def build_scenario(spec: ServingSpec):
+    """Instantiate the spec's workload from the scenario registry."""
+    scenario = _create(SCENARIOS, spec.scenario, "scenario")
+    expected = Scenario if spec.topology == "fleet" else ClusterScenario
+    if not isinstance(scenario, expected):
+        raise ConfigurationError(
+            f"scenario: generator {spec.scenario.name!r} returned "
+            f"{type(scenario).__name__}, expected {expected.__name__} "
+            f"for topology {spec.topology!r}"
+        )
+    return scenario
+
+
+def _optional(registry, policy: PolicySpec | None, field_name: str):
+    if policy is None:
+        return None
+    return _create(registry, policy, field_name)
+
+
+def build_runner(
+    spec: ServingSpec,
+    scenario=None,
+    observers: Sequence = (),
+) -> ServingRunner:
+    """Instantiate the spec's runner (policies resolved by name).
+
+    ``scenario`` is only needed to resolve a relative
+    (``{"utilization": f}``) fleet capacity; pass the one you will run.
+    """
+    if spec.topology == "fleet":
+        # the scenario is only needed to resolve a relative capacity
+        if scenario is None and isinstance(spec.capacity, Mapping):
+            scenario = build_scenario(spec)
+        capacity = spec.resolve_capacity(scenario)
+        admission = (
+            None
+            if spec.admission is None
+            else _create(ADMISSIONS, spec.admission, "admission", capacity)
+        )
+        return FleetRunner(
+            capacity=capacity,
+            arbiter=_create(ARBITERS, spec.arbiter, "arbiter"),
+            admission=admission,
+            constraint_mode=spec.constraint_mode,
+            granularity=spec.granularity,
+            max_rounds=spec.max_rounds,
+            observers=observers,
+        )
+    if spec.admission is None:
+        admission_factory = None
+        admission = False
+    else:
+        gate = spec.admission
+        admission_factory = lambda capacity: _create(
+            ADMISSIONS, gate, "admission", capacity
+        )
+        admission = True
+    return ClusterRunner(
+        placement=_create(PLACEMENTS, spec.placement, "placement"),
+        migration=_optional(MIGRATIONS, spec.migration, "migration"),
+        balancer=_optional(BALANCERS, spec.balancer, "balancer"),
+        max_rounds=spec.max_rounds,
+        observers=observers,
+        arbiter=_create(ARBITERS, spec.arbiter, "arbiter"),
+        admission=admission,
+        admission_factory=admission_factory,
+        constraint_mode=spec.constraint_mode,
+        granularity=spec.granularity,
+    )
+
+
+def serve(spec, observers: Sequence = ()) -> ServingResult:
+    """Run one declarative serving spec end to end.
+
+    ``spec`` may be a :class:`ServingSpec`, its ``to_dict`` mapping
+    form, or a JSON string; ``observers`` are
+    :class:`~repro.serving.observers.RoundObserver` instances threaded
+    through the run's lifecycle hooks.  Returns a
+    :class:`~repro.serving.result.ServingResult`.
+    """
+    spec = _coerce_spec(spec)
+    scenario = build_scenario(spec)
+    runner = build_runner(spec, scenario=scenario, observers=observers)
+    return ServingResult(raw=runner.run(scenario), spec=spec, runner=runner)

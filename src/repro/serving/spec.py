@@ -1,0 +1,331 @@
+"""The declarative serving configuration: one JSON document, one run.
+
+A :class:`ServingSpec` names everything a serving run needs — the
+topology (single-pool ``fleet`` or sharded ``cluster``), the capacity,
+and every policy **by registry name with kwargs** — so a run is a plain
+data document instead of hand-wired constructor calls.  Specs are
+validated eagerly (every error is a
+:class:`~repro.errors.ConfigurationError` naming the offending field)
+and round-trip losslessly through JSON::
+
+    spec = ServingSpec.from_json(text)
+    assert ServingSpec.from_json(spec.to_json()) == spec
+    result = repro.serve(spec)
+
+Field reference
+---------------
+
+=================  ====================================================
+``topology``       ``"fleet"`` (one shared pool) or ``"cluster"``
+``scenario``       workload generator: name + kwargs (see ``SCENARIOS``)
+``capacity``       fleet only: cycles/round, or ``{"utilization": f}``
+                   for a fraction of the scenario's aggregate demand
+                   (cluster capacity comes from the scenario's shards)
+``arbiter``        per-pool capacity arbiter (default ``quality-fair``)
+``admission``      admission gate (default ``feasibility``; ``"none"``
+                   or ``null`` runs ungated)
+``placement``      cluster only, required: arrival routing policy
+``migration``      cluster only, optional: between-round rebalancing
+``balancer``       cluster only, optional: cross-shard headroom lending
+``constraint_mode``/``granularity``  per-session controller settings
+``max_rounds``     runaway-scenario safety valve
+=================  ====================================================
+
+Policy fields accept a bare name string as shorthand for
+``{"name": ..., "kwargs": {}}``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields
+
+from repro.errors import ConfigurationError
+from repro.serving.registry import (
+    ADMISSIONS,
+    ARBITERS,
+    BALANCERS,
+    MIGRATIONS,
+    PLACEMENTS,
+    SCENARIOS,
+    TOPOLOGIES,
+    scenario_topology,
+)
+
+#: Controller constraint modes accepted by the simulator.
+CONSTRAINT_MODES = ("both", "average", "worst")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One policy selection: registry name plus constructor kwargs."""
+
+    name: str
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(
+                f"policy name must be a non-empty string, got {self.name!r}"
+            )
+        if not isinstance(self.kwargs, Mapping):
+            raise ConfigurationError(
+                f"policy kwargs for {self.name!r} must be a mapping, "
+                f"got {type(self.kwargs).__name__}"
+            )
+        if any(not isinstance(k, str) for k in self.kwargs):
+            raise ConfigurationError(
+                f"policy kwargs for {self.name!r} must have string keys"
+            )
+        object.__setattr__(self, "kwargs", dict(self.kwargs))
+
+    @classmethod
+    def coerce(cls, value, field_name: str) -> "PolicySpec":
+        """Normalize a name string / mapping / PolicySpec."""
+        if isinstance(value, PolicySpec):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        if isinstance(value, Mapping):
+            unknown = set(value) - {"name", "kwargs"}
+            if unknown:
+                raise ConfigurationError(
+                    f"{field_name}: unexpected keys {sorted(unknown)} "
+                    "(a policy is {'name': ..., 'kwargs': {...}})"
+                )
+            if "name" not in value:
+                raise ConfigurationError(f"{field_name}: policy needs a 'name'")
+            return cls(name=value["name"], kwargs=value.get("kwargs") or {})
+        raise ConfigurationError(
+            f"{field_name}: expected a policy name or mapping, "
+            f"got {type(value).__name__}"
+        )
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kwargs": dict(self.kwargs)}
+
+
+def _check_policy(spec, registry, field_name, topology, allowed_topology):
+    """Shared per-field validation: topology scoping + known name."""
+    if spec is None:
+        return
+    if allowed_topology is not None and topology != allowed_topology:
+        raise ConfigurationError(
+            f"{field_name}: only meaningful for {allowed_topology!r} "
+            f"topology (spec topology is {topology!r})"
+        )
+    if spec.name not in registry:
+        raise ConfigurationError(
+            f"{field_name}: unknown {registry.kind} {spec.name!r}; "
+            f"expected one of {registry.names()}"
+        )
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """A complete, validated, JSON-round-trippable serving run."""
+
+    scenario: PolicySpec
+    topology: str = "fleet"
+    capacity: float | dict | None = None
+    arbiter: PolicySpec = field(
+        default_factory=lambda: PolicySpec("quality-fair")
+    )
+    admission: PolicySpec | None = field(
+        default_factory=lambda: PolicySpec("feasibility")
+    )
+    placement: PolicySpec | None = None
+    migration: PolicySpec | None = None
+    balancer: PolicySpec | None = None
+    constraint_mode: str = "both"
+    granularity: int = 1
+    max_rounds: int = 100_000
+
+    # ------------------------------------------------------------------
+    # eager validation — every error names its field
+    # ------------------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        for name in ("scenario", "arbiter"):
+            object.__setattr__(
+                self, name, PolicySpec.coerce(getattr(self, name), name)
+            )
+        for name in ("admission", "placement", "migration", "balancer"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, PolicySpec.coerce(value, name))
+
+        if self.topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"topology: must be one of {TOPOLOGIES}, got {self.topology!r}"
+            )
+        if self.scenario.name not in SCENARIOS:
+            raise ConfigurationError(
+                f"scenario: unknown scenario {self.scenario.name!r}; "
+                f"expected one of {SCENARIOS.names()}"
+            )
+        declared = scenario_topology(self.scenario.name)
+        if declared != self.topology:
+            raise ConfigurationError(
+                f"scenario: {self.scenario.name!r} is a {declared} scenario "
+                f"but the spec's topology is {self.topology!r}"
+            )
+        self._validate_capacity()
+        _check_policy(self.arbiter, ARBITERS, "arbiter", self.topology, None)
+        _check_policy(
+            self.admission, ADMISSIONS, "admission", self.topology, None
+        )
+        if self.topology == "cluster" and self.placement is None:
+            raise ConfigurationError(
+                "placement: required for cluster topology "
+                f"(one of {PLACEMENTS.names()})"
+            )
+        _check_policy(
+            self.placement, PLACEMENTS, "placement", self.topology, "cluster"
+        )
+        _check_policy(
+            self.migration, MIGRATIONS, "migration", self.topology, "cluster"
+        )
+        _check_policy(
+            self.balancer, BALANCERS, "balancer", self.topology, "cluster"
+        )
+        if self.constraint_mode not in CONSTRAINT_MODES:
+            raise ConfigurationError(
+                f"constraint_mode: must be one of {CONSTRAINT_MODES}, "
+                f"got {self.constraint_mode!r}"
+            )
+        if (
+            isinstance(self.granularity, bool)
+            or not isinstance(self.granularity, int)
+            or self.granularity < 1
+        ):
+            raise ConfigurationError(
+                f"granularity: must be an integer >= 1, got {self.granularity!r}"
+            )
+        if (
+            isinstance(self.max_rounds, bool)
+            or not isinstance(self.max_rounds, int)
+            or self.max_rounds < 1
+        ):
+            raise ConfigurationError(
+                f"max_rounds: must be an integer >= 1, got {self.max_rounds!r}"
+            )
+
+    def _validate_capacity(self) -> None:
+        if self.topology == "cluster":
+            if self.capacity is not None:
+                raise ConfigurationError(
+                    "capacity: cluster capacity comes from the scenario's "
+                    "shard capacities; leave capacity unset"
+                )
+            return
+        if self.capacity is None:
+            raise ConfigurationError(
+                "capacity: required for fleet topology (cycles per round, "
+                "or {'utilization': fraction} of the scenario's demand)"
+            )
+        if isinstance(self.capacity, Mapping):
+            unknown = set(self.capacity) - {"utilization"}
+            if unknown:
+                raise ConfigurationError(
+                    f"capacity: unexpected keys {sorted(unknown)} "
+                    "(relative capacity is {'utilization': fraction})"
+                )
+            utilization = self.capacity.get("utilization")
+            if (
+                isinstance(utilization, bool)
+                or not isinstance(utilization, (int, float))
+                or utilization <= 0
+            ):
+                raise ConfigurationError(
+                    "capacity: utilization must be a positive number, "
+                    f"got {utilization!r}"
+                )
+            object.__setattr__(self, "capacity", dict(self.capacity))
+            return
+        if isinstance(self.capacity, bool) or not isinstance(
+            self.capacity, (int, float)
+        ):
+            raise ConfigurationError(
+                f"capacity: must be a number or {{'utilization': f}}, "
+                f"got {type(self.capacity).__name__}"
+            )
+        if self.capacity <= 0:
+            raise ConfigurationError(
+                f"capacity: must be positive, got {self.capacity!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # capacity resolution
+    # ------------------------------------------------------------------
+
+    def resolve_capacity(self, scenario) -> float:
+        """The fleet pool in cycles/round, given the built scenario."""
+        if isinstance(self.capacity, Mapping):
+            return self.capacity["utilization"] * scenario.total_demand()
+        return float(self.capacity)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A plain-dict form; ``from_dict(to_dict())`` is identity."""
+        def policy(value):
+            return None if value is None else value.to_dict()
+
+        return {
+            "topology": self.topology,
+            "scenario": self.scenario.to_dict(),
+            "capacity": (
+                dict(self.capacity)
+                if isinstance(self.capacity, Mapping)
+                else self.capacity
+            ),
+            "arbiter": self.arbiter.to_dict(),
+            "admission": policy(self.admission),
+            "placement": policy(self.placement),
+            "migration": policy(self.migration),
+            "balancer": policy(self.balancer),
+            "constraint_mode": self.constraint_mode,
+            "granularity": self.granularity,
+            "max_rounds": self.max_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServingSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"a ServingSpec document must be a mapping, "
+                f"got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ServingSpec field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        if "scenario" not in data:
+            raise ConfigurationError("scenario: required field is missing")
+        return cls(**dict(data))
+
+    def to_json(self, indent: int | None = None) -> str:
+        try:
+            return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        except TypeError as error:
+            raise ConfigurationError(
+                f"spec is not JSON-serializable (policy kwargs must be "
+                f"plain JSON values): {error}"
+            ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServingSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"spec is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(data)

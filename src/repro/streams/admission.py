@@ -111,6 +111,17 @@ class AdmissionController:
         # queue head every fleet round would be wasted schedule walks
         self._freed_since_retry = False
 
+    def reset(self) -> None:
+        """Restore the just-constructed state (nothing committed,
+        queued, or counted) so one controller can gate several runs
+        bit-identically.  Called by ``FleetRunner.reset()``."""
+        self.committed = 0.0
+        self.queue.clear()
+        self.accepted_count = 0
+        self.rejected_count = 0
+        self.queued_count = 0
+        self._freed_since_retry = False
+
     # ------------------------------------------------------------------
     # feasibility
     # ------------------------------------------------------------------

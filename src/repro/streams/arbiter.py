@@ -152,14 +152,14 @@ class QualityFairArbiter(CapacityArbiter):
 
 
 def make_arbiter(name: str, **kwargs) -> CapacityArbiter:
-    """Arbiter factory by policy name (bench/CLI convenience)."""
-    table = {
-        EqualShareArbiter.name: EqualShareArbiter,
-        WeightedShareArbiter.name: WeightedShareArbiter,
-        QualityFairArbiter.name: QualityFairArbiter,
-    }
-    if name not in table:
-        raise ConfigurationError(
-            f"unknown arbiter {name!r}; expected one of {sorted(table)}"
-        )
-    return table[name](**kwargs)
+    """Arbiter factory by policy name.
+
+    Thin alias of the serving layer's ``ARBITERS`` registry
+    (:mod:`repro.serving.registry`), kept for existing callers — an
+    arbiter registered with :func:`repro.serving.register_arbiter` is
+    immediately constructible here too.  The import is deferred so the
+    streams layer never depends on the serving package at import time.
+    """
+    from repro.serving.registry import ARBITERS
+
+    return ARBITERS.create(name, **kwargs)

@@ -158,6 +158,11 @@ class FleetRunner:
         Controller settings applied to every session.
     max_rounds:
         Safety valve against runaway scenarios.
+    observers:
+        :class:`~repro.serving.observers.RoundObserver` instances whose
+        lifecycle hooks (``on_round`` / ``on_admit`` / ``on_reject`` /
+        ``on_depart``) fire during ``run``.  Observers are never read
+        back, so they cannot change results.
     """
 
     def __init__(
@@ -168,6 +173,7 @@ class FleetRunner:
         constraint_mode: str = "both",
         granularity: int = 1,
         max_rounds: int = 100_000,
+        observers=(),
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError("capacity must be positive")
@@ -179,6 +185,22 @@ class FleetRunner:
         self.constraint_mode = constraint_mode
         self.granularity = granularity
         self.max_rounds = max_rounds
+        self.observers = tuple(observers)
+
+    def reset(self) -> None:
+        """Restore the just-constructed state for another ``run``.
+
+        ``run`` builds all per-run state locally; the only thing that
+        outlives a run is the admission controller's commitments and
+        counters, which this clears.  Arbiters are stateless by
+        contract (``allocate`` is pure).  ``run`` calls this on entry
+        (matching ``ClusterRunner``), so back-to-back runs on one
+        instance replay bit-identically to fresh-runner runs; it is
+        public so callers holding a runner can also discard state
+        explicitly (see ``tests/serving/test_serving_reset.py``).
+        """
+        if self.admission is not None:
+            self.admission.reset()
 
     # ------------------------------------------------------------------
 
@@ -192,7 +214,12 @@ class FleetRunner:
         )
 
     def run(self, scenario: Scenario) -> FleetResult:
-        """Serve the whole scenario to completion."""
+        """Serve the whole scenario to completion.
+
+        Self-contained: admission state is reset on entry, so replaying
+        a scenario on the same runner reproduces it exactly.
+        """
+        self.reset()
         result = FleetResult(
             scenario_name=scenario.name,
             arbiter_name=getattr(self.arbiter, "name", type(self.arbiter).__name__),
@@ -222,12 +249,15 @@ class FleetRunner:
                     self._admit(spec, round_index, active, spec_of, admitted_round)
                 elif verdict.decision is AdmissionDecision.REJECTED:
                     result.rejected.append(spec)
+                    for observer in self.observers:
+                        observer.on_reject(spec, round_index)
                 # QUEUED specs wait inside the admission controller
             # 2. departures last round may have freed capacity
             if self.admission is not None:
                 for spec in self.admission.admit_queued():
                     self._admit(spec, round_index, active, spec_of, admitted_round)
             # 3 + 4. arbitrate and step
+            allocations: dict[str, float] = {}
             if active:
                 result.peak_concurrency = max(result.peak_concurrency, len(active))
                 requests = [
@@ -241,23 +271,27 @@ class FleetRunner:
                     for s in active
                 ]
                 allocations = self.arbiter.allocate(requests, self.capacity)
+            for observer in self.observers:
+                observer.on_round(round_index, allocations, self.capacity)
+            if active:
                 still_active: list[StreamSession] = []
                 for session in active:
                     step = session.step(allocations[session.stream_id])
                     if step.finished:
                         spec = spec_of.pop(session.stream_id)
-                        result.streams.append(
-                            StreamOutcome(
-                                spec=spec,
-                                result=session.result(),
-                                admitted_round=admitted_round.pop(
-                                    session.stream_id
-                                ),
-                                finished_round=round_index,
-                            )
+                        outcome = StreamOutcome(
+                            spec=spec,
+                            result=session.result(),
+                            admitted_round=admitted_round.pop(
+                                session.stream_id
+                            ),
+                            finished_round=round_index,
                         )
+                        result.streams.append(outcome)
                         if self.admission is not None:
                             self.admission.release(spec.config)
+                        for observer in self.observers:
+                            observer.on_depart(outcome, round_index)
                     else:
                         still_active.append(session)
                 active = still_active
@@ -279,6 +313,8 @@ class FleetRunner:
         active.append(session)
         spec_of[spec.name] = spec
         admitted_round[spec.name] = round_index
+        for observer in self.observers:
+            observer.on_admit(spec, round_index)
 
 
 def compare_arbiters(

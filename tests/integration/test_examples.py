@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "codegen_tool.py",
     "fleet_serving.py",
     "cluster_serving.py",
+    "serving_spec.py",
 ]
 HEAVY_EXAMPLES = ["video_encoder.py", "soft_deadlines.py"]
 

@@ -1,0 +1,183 @@
+"""ServingSpec: JSON round trip, eager validation, field-precise errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import PolicySpec, ServingSpec, serve
+
+FLEET_DOC = {
+    "topology": "fleet",
+    "scenario": {"name": "flash-crowd",
+                 "kwargs": {"base": 2, "crowd": 2, "crowd_round": 2,
+                            "frames": 4, "scale": 27}},
+    "capacity": 20e6,
+    "arbiter": {"name": "quality-fair", "kwargs": {"pressure": 1.5}},
+    "admission": "feasibility",
+}
+
+CLUSTER_DOC = {
+    "topology": "cluster",
+    "scenario": {"name": "skewed-cluster",
+                 "kwargs": {"streams": 4, "frames": 4}},
+    "placement": "best-fit",
+    "migration": {"name": "load-balance",
+                  "kwargs": {"max_moves_per_round": 1}},
+    "balancer": "headroom",
+}
+
+
+class TestNormalization:
+    def test_string_shorthand_becomes_policyspec(self):
+        spec = ServingSpec.from_dict(FLEET_DOC)
+        assert spec.admission == PolicySpec("feasibility")
+        assert spec.arbiter == PolicySpec("quality-fair", {"pressure": 1.5})
+
+    def test_defaults(self):
+        spec = ServingSpec(
+            scenario="steady", capacity=1e6
+        )
+        assert spec.topology == "fleet"
+        assert spec.arbiter.name == "quality-fair"
+        assert spec.admission.name == "feasibility"
+        assert spec.placement is None
+
+    def test_admission_null_means_ungated(self):
+        spec = ServingSpec.from_dict(
+            {**FLEET_DOC, "admission": None}
+        )
+        assert spec.admission is None
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("document", [FLEET_DOC, CLUSTER_DOC])
+    def test_dict_and_json_round_trip_is_identity(self, document):
+        spec = ServingSpec.from_dict(document)
+        assert ServingSpec.from_dict(spec.to_dict()) == spec
+        assert ServingSpec.from_json(spec.to_json()) == spec
+        assert ServingSpec.from_json(spec.to_json(indent=2)) == spec
+
+    def test_utilization_capacity_round_trips(self):
+        spec = ServingSpec.from_dict(
+            {**FLEET_DOC, "capacity": {"utilization": 0.5}}
+        )
+        again = ServingSpec.from_json(spec.to_json())
+        assert again.capacity == {"utilization": 0.5}
+
+    @pytest.mark.parametrize("document", [FLEET_DOC, CLUSTER_DOC])
+    def test_round_tripped_spec_serves_bit_identically(self, document):
+        spec = ServingSpec.from_dict(document)
+        direct = serve(spec)
+        reloaded = serve(ServingSpec.from_json(spec.to_json()))
+        assert direct.summary() == reloaded.summary()
+        assert direct.per_stream_quality() == reloaded.per_stream_quality()
+        assert direct.per_stream_psnr() == reloaded.per_stream_psnr()
+
+    def test_serve_accepts_json_text_and_mappings(self):
+        spec = ServingSpec.from_dict(FLEET_DOC)
+        from_text = serve(spec.to_json())
+        from_dict = serve(FLEET_DOC)
+        assert from_text.summary() == from_dict.summary()
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            ServingSpec.from_json("{not json")
+
+    def test_unserializable_kwargs_named(self):
+        spec = ServingSpec.from_dict(
+            {**FLEET_DOC, "arbiter": {"name": "quality-fair",
+                                      "kwargs": {"pressure": {1, 2}}}}
+        )
+        with pytest.raises(ConfigurationError, match="JSON-serializable"):
+            spec.to_json()
+
+
+class TestValidationErrorsNameTheField:
+    def expect(self, document, field):
+        with pytest.raises(ConfigurationError, match=field):
+            ServingSpec.from_dict(document)
+
+    def test_unknown_scenario(self):
+        self.expect({**FLEET_DOC, "scenario": "warp-drive"}, "scenario")
+
+    def test_topology_scenario_mismatch(self):
+        self.expect(
+            {**FLEET_DOC, "scenario": CLUSTER_DOC["scenario"]},
+            r"scenario.*cluster scenario.*'fleet'",
+        )
+        self.expect(
+            {**CLUSTER_DOC, "scenario": FLEET_DOC["scenario"]},
+            r"scenario.*fleet scenario.*'cluster'",
+        )
+
+    def test_bad_topology(self):
+        self.expect({**FLEET_DOC, "topology": "mesh"}, "topology")
+
+    def test_negative_capacity(self):
+        self.expect({**FLEET_DOC, "capacity": -5.0}, "capacity.*positive")
+
+    def test_missing_fleet_capacity(self):
+        self.expect({**FLEET_DOC, "capacity": None}, "capacity.*required")
+
+    def test_cluster_capacity_forbidden(self):
+        self.expect(
+            {**CLUSTER_DOC, "capacity": 1e6}, "capacity.*shard capacities"
+        )
+
+    def test_bad_utilization(self):
+        self.expect(
+            {**FLEET_DOC, "capacity": {"utilization": -0.1}}, "utilization"
+        )
+        self.expect(
+            {**FLEET_DOC, "capacity": {"fraction": 0.5}}, "capacity"
+        )
+
+    def test_unknown_policy_names(self):
+        self.expect({**FLEET_DOC, "arbiter": "nope"}, "arbiter")
+        self.expect({**FLEET_DOC, "admission": "nope"}, "admission")
+        self.expect({**CLUSTER_DOC, "placement": "nope"}, "placement")
+        self.expect({**CLUSTER_DOC, "migration": "nope"}, "migration")
+        self.expect({**CLUSTER_DOC, "balancer": "nope"}, "balancer")
+
+    def test_fleet_forbids_cluster_policies(self):
+        self.expect({**FLEET_DOC, "placement": "best-fit"}, "placement")
+        self.expect({**FLEET_DOC, "migration": "none"}, "migration")
+        self.expect({**FLEET_DOC, "balancer": "headroom"}, "balancer")
+
+    def test_cluster_requires_placement(self):
+        document = dict(CLUSTER_DOC)
+        del document["placement"]
+        self.expect(document, "placement.*required")
+
+    def test_bad_controller_settings(self):
+        self.expect(
+            {**FLEET_DOC, "constraint_mode": "strict"}, "constraint_mode"
+        )
+        self.expect({**FLEET_DOC, "granularity": 0}, "granularity")
+        self.expect({**FLEET_DOC, "max_rounds": 0}, "max_rounds")
+
+    def test_booleans_rejected_for_numeric_fields(self):
+        # JSON true/false must not slip through int/float checks
+        self.expect({**FLEET_DOC, "granularity": True}, "granularity")
+        self.expect({**FLEET_DOC, "max_rounds": True}, "max_rounds")
+        self.expect({**FLEET_DOC, "capacity": True}, "capacity")
+        self.expect(
+            {**FLEET_DOC, "capacity": {"utilization": True}}, "utilization"
+        )
+
+    def test_unknown_top_level_field(self):
+        self.expect({**FLEET_DOC, "shards": 3}, "unknown ServingSpec field")
+
+    def test_missing_scenario(self):
+        self.expect({"capacity": 1e6}, "scenario.*required")
+
+    def test_malformed_policy_value(self):
+        self.expect({**FLEET_DOC, "arbiter": 42}, "arbiter")
+        self.expect(
+            {**FLEET_DOC, "arbiter": {"kwargs": {}}}, "arbiter.*name"
+        )
+        self.expect(
+            {**FLEET_DOC, "arbiter": {"name": "quality-fair", "extra": 1}},
+            "arbiter.*unexpected",
+        )

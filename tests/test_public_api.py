@@ -43,6 +43,7 @@ class TestTopLevel:
         "repro.sim",
         "repro.streams",
         "repro.cluster",
+        "repro.serving",
         "repro.baselines",
         "repro.tool",
         "repro.analysis",
