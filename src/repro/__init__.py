@@ -60,6 +60,7 @@ __all__ = [
     "QualityTimeTable",
     "ReferenceController",
     "RoundObserver",
+    "ServiceClass",
     "ServingResult",
     "ServingSpec",
     "TableDrivenController",
@@ -76,6 +77,9 @@ _SERVING_EXPORTS = (
     "ServingResult",
     "ServingSpec",
 )
+
+#: SLA-layer names re-exported lazily, same mechanism.
+_SLA_EXPORTS = ("ServiceClass",)
 
 
 def mpeg4_encoder_application(macroblocks: int = 1620) -> CyclicApplication:
@@ -108,4 +112,8 @@ def __getattr__(name: str):
         import repro.serving
 
         return getattr(repro.serving, name)
+    if name in _SLA_EXPORTS:
+        import repro.sla
+
+        return getattr(repro.sla, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

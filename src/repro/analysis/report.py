@@ -204,6 +204,54 @@ def serving_table(results: Sequence) -> str:
     return _aligned_table(headers, rows)
 
 
+def sla_table(result, classes=None) -> str:
+    """Per-service-class breakdown of one serving run.
+
+    ``result`` is anything with a ``per_class()`` breakdown — a
+    :class:`~repro.serving.result.ServingResult`,
+    :class:`~repro.streams.fleet.FleetResult`, or
+    :class:`~repro.cluster.runner.ClusterResult`.  ``classes`` (a
+    mapping of name to :class:`~repro.sla.classes.ServiceClass`, e.g.
+    from :func:`repro.sla.resolve_classes`) adds each class's weight
+    and normalized target columns; a final row aggregates the run and
+    reports the cross-class Jain fairness.
+    """
+    from repro.streams.fleet import cross_class_fairness
+
+    headers = [
+        "class", "weight", "target", "served", "rej", "preempt",
+        "accept", "q", "fair(q)", "reneg",
+    ]
+    breakdown = result.per_class()
+    rows = []
+    for name, entry in breakdown.items():
+        cls = classes.get(name) if classes else None
+        rows.append([
+            name,
+            f"{cls.weight:.1f}" if cls else "-",
+            f"{cls.target_quality:.2f}" if cls else "-",
+            str(entry["served"]),
+            str(entry["rejected"]),
+            str(entry["preempted"]),
+            f"{entry['acceptance_ratio']:.3f}",
+            _format(entry["mean_quality"], ".2f"),
+            _format(entry["fairness_quality"], ".3f"),
+            str(entry["renegotiations"]),
+        ])
+    summary = result.summary()
+    rows.append([
+        "all", "-", "-",
+        str(summary["served"]),
+        str(summary["rejected"]),
+        str(summary["preempted"]),
+        f"{summary['acceptance_ratio']:.3f}",
+        _format(summary["mean_quality"], ".2f"),
+        _format(cross_class_fairness(breakdown), ".3f"),
+        str(summary["renegotiations"]),
+    ])
+    return _aligned_table(headers, rows)
+
+
 def fleet_stream_table(result) -> str:
     """Per-stream breakdown of one fleet run (label, rounds, quality)."""
     rows = []

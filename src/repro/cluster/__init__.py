@@ -37,6 +37,7 @@ from repro.cluster.placement import (
     BestFitPlacement,
     LeastLoadedPlacement,
     PlacementPolicy,
+    PredictivePlacement,
     QualityAwarePlacement,
     RoundRobinPlacement,
     make_placement,
@@ -53,6 +54,7 @@ from repro.cluster.scenarios import (
     ClusterScenario,
     flash_crowd_split,
     shard_outage,
+    skewed_churn,
     skewed_cluster,
 )
 from repro.cluster.shard import Shard
@@ -70,6 +72,7 @@ __all__ = [
     "MigrationPolicy",
     "NoMigration",
     "PlacementPolicy",
+    "PredictivePlacement",
     "QualityAwarePlacement",
     "QueueRebalanceMigration",
     "RoundRobinPlacement",
@@ -80,5 +83,6 @@ __all__ = [
     "make_migration",
     "make_placement",
     "shard_outage",
+    "skewed_churn",
     "skewed_cluster",
 ]

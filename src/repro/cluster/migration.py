@@ -77,7 +77,7 @@ class QueueRebalanceMigration(MigrationPolicy):
         moves: list[MigrationMove] = []
         claimed = {s.shard_id: 0.0 for s in shards}
         for source in shards:
-            for spec in source.queue:
+            for spec in self._queued_candidates(source):
                 for dest in shards:
                     if dest is source or dest.admission is None:
                         continue
@@ -99,6 +99,11 @@ class QueueRebalanceMigration(MigrationPolicy):
                     )
                     break
         return moves, claimed
+
+    def _queued_candidates(self, source: Shard) -> list:
+        """Queue-move candidates in claim order (FIFO here; the SLA
+        policy overrides this to give gold first claim on headroom)."""
+        return source.queue
 
     @staticmethod
     def _demand(spec, shard: Shard) -> float:
@@ -149,7 +154,7 @@ class LoadBalanceMigration(QueueRebalanceMigration):
         for source in sorted(shards, key=lambda s: -s.load):
             if source.load < self.overload:
                 break
-            for session in list(source.active):
+            for session in self._active_candidates(source):
                 if active_moves >= self.max_moves_per_round:
                     return moves
                 quality = session.normalized_recent_quality()
@@ -180,6 +185,11 @@ class LoadBalanceMigration(QueueRebalanceMigration):
                     )
                 )
         return moves
+
+    def _active_candidates(self, source: Shard) -> list:
+        """Active-move candidates in claim order (shard order here; the
+        SLA policy overrides this to rescue gold sessions first)."""
+        return list(source.active)
 
     def _destination(
         self,

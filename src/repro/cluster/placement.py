@@ -117,6 +117,55 @@ class BestFitPlacement(PlacementPolicy):
         return min(shards, key=lambda s: (s.load, shards.index(s)))
 
 
+class PredictivePlacement(PlacementPolicy):
+    """Blend feasibility with the *projected per-stream share*.
+
+    Best-fit maximizes acceptance but packs small shards tight: a
+    stream routed to a nearly-full small shard is admitted — and then
+    starves, because the shard's arbitrated pool splits across too
+    many sessions (the quality collapse the ROADMAP flags under
+    churn).  Predictive placement keeps best-fit's feasibility gate
+    but ranks the accepting shards by the capacity share the arrival
+    would actually *receive*::
+
+        projected = capacity / (active + queued + 1)
+
+    so an arrival lands where its grant is largest, not where it fits
+    most snugly.  ``headroom_bias`` (0..1) mixes a fraction of
+    normalized admission headroom into the score — a tunable midpoint
+    between pure share-seeking (0.0) and hole-preserving packing.
+    Falls back to best-fit's tiers when no shard accepts immediately.
+    """
+
+    name = "predictive"
+
+    def __init__(self, headroom_bias: float = 0.0) -> None:
+        if not 0.0 <= headroom_bias <= 1.0:
+            raise ConfigurationError("headroom_bias must be in [0, 1]")
+        self.headroom_bias = headroom_bias
+        self._fallback = BestFitPlacement()
+
+    def projected_share(self, shard: Shard) -> float:
+        """Cycles/round a new arrival would get on this shard."""
+        occupants = len(shard.active) + len(shard.queue) + 1
+        return shard.capacity / occupants
+
+    def _choose(
+        self, spec: StreamSpec, shards: list[Shard], round_index: int
+    ) -> Shard:
+        fits = [s for s in shards if s.feasible_now(spec)]
+        if fits:
+            reference = max(s.capacity for s in shards)
+
+            def score(shard: Shard) -> float:
+                share = self.projected_share(shard) / reference
+                headroom = shard.headroom() / reference
+                return share + self.headroom_bias * headroom
+
+            return max(fits, key=lambda s: (score(s), -shards.index(s)))
+        return self._fallback._choose(spec, shards, round_index)
+
+
 class QualityAwarePlacement(PlacementPolicy):
     """Feasibility first, then the shard with the healthiest streams.
 

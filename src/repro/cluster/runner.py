@@ -40,7 +40,11 @@ from repro.cluster.shard import Shard
 from repro.errors import ConfigurationError
 from repro.streams.admission import AdmissionController
 from repro.streams.arbiter import CapacityArbiter, make_arbiter
-from repro.streams.fleet import FleetResult
+from repro.streams.fleet import (
+    FleetResult,
+    class_breakdown,
+    cross_class_fairness,
+)
 
 
 class HeadroomBalancer:
@@ -134,6 +138,26 @@ class ClusterResult:
         return self.served_count / offered if offered else 1.0
 
     @property
+    def preempted_count(self) -> int:
+        return sum(r.preempted_count for r in self.shard_results)
+
+    def total_renegotiations(self) -> int:
+        return sum(r.total_renegotiations() for r in self.shard_results)
+
+    def per_class(self) -> dict[str, dict]:
+        """Per-service-class metrics across every shard (see
+        :func:`repro.streams.fleet.class_breakdown`)."""
+        return class_breakdown(
+            [o for r in self.shard_results for o in r.streams],
+            [s for r in self.shard_results for s in r.rejected],
+            [s for r in self.shard_results for s in r.preempted],
+        )
+
+    def fairness_cross_class(self) -> float:
+        """Jain index over per-class mean quality, cluster-wide."""
+        return cross_class_fairness(self.per_class())
+
+    @property
     def migration_count(self) -> int:
         return len(self.migrations)
 
@@ -188,6 +212,8 @@ class ClusterResult:
             "rounds": self.rounds,
             "served": self.served_count,
             "rejected": self.rejected_count,
+            "preempted": self.preempted_count,
+            "renegotiations": self.total_renegotiations(),
             "acceptance_ratio": round(self.acceptance_ratio, 4),
             "migrations": self.migration_count,
             "active_migrations": self.active_migration_count,
@@ -208,13 +234,17 @@ def build_shards(
     constraint_mode: str = "both",
     granularity: int = 1,
     admission_factory=None,
+    service_classes=None,
+    renegotiation=None,
 ) -> list[Shard]:
     """Convenience: one shard per capacity, fresh arbiter + admission each.
 
     ``admission_factory`` (called as ``factory(capacity)``) overrides
     the default per-shard :class:`AdmissionController` — the serving
     layer uses it to build registry-selected admission gates; returning
-    ``None`` leaves that shard ungated.
+    ``None`` leaves that shard ungated.  ``service_classes`` and
+    ``renegotiation`` are passed through to every shard (the SLA
+    session settings, see :class:`~repro.cluster.shard.Shard`).
     """
     shards = []
     for i, capacity in enumerate(capacities):
@@ -237,6 +267,8 @@ def build_shards(
                 admission=gate,
                 constraint_mode=constraint_mode,
                 granularity=granularity,
+                service_classes=service_classes,
+                renegotiation=renegotiation,
             )
         )
     return shards

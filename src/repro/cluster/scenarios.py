@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.experiments.configs import scaled_config
-from repro.streams.scenarios import Scenario, StreamSpec
+from repro.streams.scenarios import Scenario, StreamSpec, poisson_churn
 
 
 @dataclass(frozen=True)
@@ -130,6 +130,48 @@ def skewed_cluster(
     fractions = tuple(ratio ** (shards - 1 - i) for i in range(shards))
     return ClusterScenario(
         name=f"skewed[{streams}x{shards}]",
+        arrivals=arrivals,
+        shard_capacities=_split_capacity(total, fractions),
+    )
+
+
+def skewed_churn(
+    rate: float = 1.2,
+    horizon: int = 14,
+    shards: int = 3,
+    mean_frames: int = 12,
+    min_frames: int = 6,
+    seed: int = 7,
+    initial: int = 4,
+    utilization: float = 0.55,
+    skew: float = 8.0,
+) -> ClusterScenario:
+    """Poisson churn over geometrically skewed shard capacities.
+
+    The regime the ROADMAP's predictive-placement item describes:
+    under continuous arrivals and departures, feasibility-only
+    best-fit keeps wedging newcomers into the small shards (they fit —
+    tightly), so per-stream shares there collapse while the big shard
+    idles.  Placement that weighs the *projected share* spreads the
+    churn.  Total capacity is ``utilization`` times the aggregate
+    demand, split with the same geometric ``skew`` as
+    :func:`skewed_cluster`.
+    """
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    arrivals = poisson_churn(
+        rate=rate,
+        horizon=horizon,
+        mean_frames=mean_frames,
+        min_frames=min_frames,
+        seed=seed,
+        initial=initial,
+    )
+    total = utilization * arrivals.total_demand()
+    ratio = skew ** (1.0 / max(1, shards - 1)) if shards > 1 else 1.0
+    fractions = tuple(ratio ** (shards - 1 - i) for i in range(shards))
+    return ClusterScenario(
+        name=f"skewed-churn[rate={rate}x{shards}]",
         arrivals=arrivals,
         shard_capacities=_split_capacity(total, fractions),
     )

@@ -33,7 +33,12 @@ from repro.streams.admission import (
     qmin_demand,
 )
 from repro.streams.arbiter import CapacityArbiter, CapacityRequest
-from repro.streams.fleet import FleetResult, StreamOutcome
+from repro.streams.fleet import (
+    FleetResult,
+    StreamOutcome,
+    _normalize_classes,
+    session_sla_kwargs,
+)
 from repro.streams.scenarios import StreamSpec
 from repro.streams.session import StreamSession
 
@@ -58,6 +63,10 @@ class Shard:
         :class:`~repro.serving.observers.RoundObserver` instances whose
         hooks fire with this shard's id.  The cluster runner overwrites
         this with its own observer set at the start of every run.
+    service_classes / renegotiation:
+        SLA catalog and mid-stream renegotiation policy, as on
+        :class:`~repro.streams.fleet.FleetRunner` (sessions of classed
+        specs get their class's quality band).
     """
 
     def __init__(
@@ -69,6 +78,8 @@ class Shard:
         constraint_mode: str = "both",
         granularity: int = 1,
         observers=(),
+        service_classes=None,
+        renegotiation=None,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError("shard capacity must be positive")
@@ -80,12 +91,15 @@ class Shard:
         self.admission = admission
         self.constraint_mode = constraint_mode
         self.granularity = granularity
+        self.service_classes = _normalize_classes(service_classes)
+        self.renegotiation = renegotiation
 
         self.active: list[StreamSession] = []
         self.spec_of: dict[str, StreamSpec] = {}
         self.admitted_round: dict[str, int] = {}
         self.outcomes: list[StreamOutcome] = []
         self.rejected: list[StreamSpec] = []
+        self.preempted: list[StreamSpec] = []
         self.peak_concurrency = 0
         self.rounds_stepped = 0
         #: cycles of active demand summed over rounds — the shard's
@@ -172,6 +186,13 @@ class Shard:
             self._start(spec, round_index)
             return AdmissionDecision.ACCEPTED
         verdict: AdmissionVerdict = self.admission.offer(spec)
+        # queue preemption: the evicted spec is finally rejected here
+        # and only here — once in the totals, one on_reject
+        for victim in verdict.preempted:
+            self.rejected.append(victim)
+            self.preempted.append(victim)
+            for observer in self.observers:
+                observer.on_reject(victim, round_index, shard_id=self.shard_id)
         if verdict.decision is AdmissionDecision.ACCEPTED:
             self._start(spec, round_index)
         elif verdict.decision is AdmissionDecision.REJECTED:
@@ -313,6 +334,8 @@ class Shard:
                 weight=s.weight,
                 recent_quality=s.normalized_recent_quality(),
                 backlog=s.backlog,
+                service_class=s.service_class,
+                target_quality=s.quality_target,
             )
             for s in self.active
         ]
@@ -325,6 +348,16 @@ class Shard:
         still_active: list[StreamSession] = []
         for session in self.active:
             step = session.step(allocations[session.stream_id])
+            if step.renegotiated is not None:
+                old, new = step.renegotiated
+                for observer in self.observers:
+                    observer.on_renegotiate(
+                        session.stream_id,
+                        old,
+                        new,
+                        round_index,
+                        shard_id=self.shard_id,
+                    )
             if step.finished:
                 spec = self.spec_of.pop(session.stream_id)
                 outcome = StreamOutcome(
@@ -332,6 +365,7 @@ class Shard:
                     result=session.result(),
                     admitted_round=self.admitted_round.pop(session.stream_id),
                     finished_round=round_index,
+                    renegotiations=session.renegotiation_count,
                 )
                 self.outcomes.append(outcome)
                 if self.admission is not None:
@@ -355,6 +389,9 @@ class Shard:
             constraint_mode=self.constraint_mode,
             granularity=self.granularity,
             weight=spec.weight,
+            **session_sla_kwargs(
+                spec, self.service_classes, self.renegotiation
+            ),
         )
         self.active.append(session)
         self.spec_of[spec.name] = spec
@@ -378,5 +415,6 @@ class Shard:
         )
         result.streams = list(self.outcomes)
         result.rejected = list(self.rejected)
+        result.preempted = list(self.preempted)
         result.peak_concurrency = self.peak_concurrency
         return result

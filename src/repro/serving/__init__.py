@@ -41,7 +41,9 @@ from repro.serving.registry import (
     BALANCERS,
     MIGRATIONS,
     PLACEMENTS,
+    RENEGOTIATIONS,
     SCENARIOS,
+    SLA_CLASSES,
     TOPOLOGIES,
     PolicyRegistry,
     register_admission,
@@ -49,7 +51,9 @@ from repro.serving.registry import (
     register_balancer,
     register_migration,
     register_placement,
+    register_renegotiation,
     register_scenario,
+    register_service_class,
     scenario_topology,
 )
 from repro.serving.result import ServingResult
@@ -71,8 +75,10 @@ __all__ = [
     "PLACEMENTS",
     "PolicyRegistry",
     "PolicySpec",
+    "RENEGOTIATIONS",
     "RoundObserver",
     "SCENARIOS",
+    "SLA_CLASSES",
     "ServingResult",
     "ServingRunner",
     "ServingSpec",
@@ -84,7 +90,9 @@ __all__ = [
     "register_balancer",
     "register_migration",
     "register_placement",
+    "register_renegotiation",
     "register_scenario",
+    "register_service_class",
     "scenario_topology",
     "serve",
 ]

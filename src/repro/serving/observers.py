@@ -57,6 +57,13 @@ class RoundObserver:
     def on_migrate(self, move, round_index):
         """One queued or active migration move was executed."""
 
+    def on_renegotiate(
+        self, stream_id, old_target, new_target, round_index, shard_id=None
+    ):
+        """A session's SLA quality target stepped (down under sustained
+        starvation, back up when headroom returned); targets are
+        normalized [0, 1] (see :mod:`repro.sla.renegotiation`)."""
+
     def on_depart(self, outcome, round_index, shard_id=None):
         """A stream finished; ``outcome`` carries its full run result."""
 
@@ -75,6 +82,7 @@ class CountingObserver(RoundObserver):
         self.admitted = 0
         self.rejected = 0
         self.migrated = 0
+        self.renegotiated = 0
         self.departed = 0
 
     def on_round(self, round_index, allocations, capacity, shard_id=None):
@@ -89,6 +97,11 @@ class CountingObserver(RoundObserver):
     def on_migrate(self, move, round_index):
         self.migrated += 1
 
+    def on_renegotiate(
+        self, stream_id, old_target, new_target, round_index, shard_id=None
+    ):
+        self.renegotiated += 1
+
     def on_depart(self, outcome, round_index, shard_id=None):
         self.departed += 1
 
@@ -98,5 +111,6 @@ class CountingObserver(RoundObserver):
             "admitted": self.admitted,
             "rejected": self.rejected,
             "migrated": self.migrated,
+            "renegotiated": self.renegotiated,
             "departed": self.departed,
         }

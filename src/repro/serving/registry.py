@@ -38,6 +38,7 @@ from repro.cluster.migration import (
 from repro.cluster.placement import (
     BestFitPlacement,
     LeastLoadedPlacement,
+    PredictivePlacement,
     QualityAwarePlacement,
     RoundRobinPlacement,
 )
@@ -45,9 +46,17 @@ from repro.cluster.runner import HeadroomBalancer
 from repro.cluster.scenarios import (
     flash_crowd_split,
     shard_outage,
+    skewed_churn,
     skewed_cluster,
 )
 from repro.errors import ConfigurationError
+from repro.sla.admission import PriorityAdmissionController
+from repro.sla.arbiter import SlaQualityFairArbiter, SlaWeightedArbiter
+from repro.sla.classes import STANDARD_CLASSES, ServiceClass
+from repro.sla.migration import SlaMigration
+from repro.sla.placement import SlaPlacement
+from repro.sla.renegotiation import StepRenegotiation
+from repro.sla.scenarios import gold_rush, sla_churn, sla_skewed_cluster
 from repro.streams.admission import AdmissionController
 from repro.streams.arbiter import (
     EqualShareArbiter,
@@ -143,37 +152,78 @@ PLACEMENTS = PolicyRegistry("placement")
 MIGRATIONS = PolicyRegistry("migration")
 BALANCERS = PolicyRegistry("balancer")
 SCENARIOS = PolicyRegistry("scenario")
+SLA_CLASSES = PolicyRegistry("service class")
+RENEGOTIATIONS = PolicyRegistry("renegotiation")
 
 #: Topologies a scenario generator may declare (and a spec may request).
 TOPOLOGIES = ("fleet", "cluster")
 
 
-def register_arbiter(name, factory=None, *, overwrite=False):
-    """Register a :class:`~repro.streams.arbiter.CapacityArbiter` factory."""
-    return ARBITERS.register(name, factory, overwrite=overwrite)
+def register_arbiter(name, factory=None, *, overwrite=False, **meta):
+    """Register a :class:`~repro.streams.arbiter.CapacityArbiter` factory.
+
+    ``sla_aware=True`` metadata marks factories accepting a ``classes``
+    kwarg: :func:`~repro.serving.runner.build_runner` forwards a spec's
+    ``service_classes`` catalog to them automatically.
+    """
+    return ARBITERS.register(name, factory, overwrite=overwrite, **meta)
 
 
-def register_admission(name, factory=None, *, overwrite=False):
+def register_admission(name, factory=None, *, overwrite=False, **meta):
     """Register an admission factory called as ``factory(capacity, **kw)``.
 
     Returning ``None`` means the pool runs ungated (see ``"none"``).
+    ``sla_aware=True`` metadata works as in :func:`register_arbiter`.
     """
-    return ADMISSIONS.register(name, factory, overwrite=overwrite)
+    return ADMISSIONS.register(name, factory, overwrite=overwrite, **meta)
 
 
-def register_placement(name, factory=None, *, overwrite=False):
-    """Register a :class:`~repro.cluster.placement.PlacementPolicy` factory."""
-    return PLACEMENTS.register(name, factory, overwrite=overwrite)
+def register_placement(name, factory=None, *, overwrite=False, **meta):
+    """Register a :class:`~repro.cluster.placement.PlacementPolicy` factory.
+
+    ``sla_aware=True`` metadata works as in :func:`register_arbiter`.
+    """
+    return PLACEMENTS.register(name, factory, overwrite=overwrite, **meta)
 
 
-def register_migration(name, factory=None, *, overwrite=False):
-    """Register a :class:`~repro.cluster.migration.MigrationPolicy` factory."""
-    return MIGRATIONS.register(name, factory, overwrite=overwrite)
+def register_migration(name, factory=None, *, overwrite=False, **meta):
+    """Register a :class:`~repro.cluster.migration.MigrationPolicy` factory.
+
+    ``sla_aware=True`` metadata works as in :func:`register_arbiter`.
+    """
+    return MIGRATIONS.register(name, factory, overwrite=overwrite, **meta)
 
 
 def register_balancer(name, factory=None, *, overwrite=False):
     """Register a cross-shard balancer factory (``None`` = no lending)."""
     return BALANCERS.register(name, factory, overwrite=overwrite)
+
+
+def register_service_class(service_class: ServiceClass, *, overwrite=False):
+    """Register a :class:`~repro.sla.classes.ServiceClass` by its name.
+
+    Registered classes are resolvable anywhere a ``classes`` kwarg or a
+    spec's ``service_classes`` field accepts a name string.
+    """
+    if not isinstance(service_class, ServiceClass):
+        raise ConfigurationError(
+            f"expected a ServiceClass, got {type(service_class).__name__}"
+        )
+    SLA_CLASSES.register(
+        service_class.name,
+        lambda sc=service_class: sc,
+        overwrite=overwrite,
+    )
+    return service_class
+
+
+def register_renegotiation(name, factory=None, *, overwrite=False):
+    """Register a mid-stream renegotiation policy factory.
+
+    Policies must be stateless (shared across every session of a run);
+    see :class:`repro.sla.renegotiation.StepRenegotiation`.
+    """
+    return RENEGOTIATIONS.register(name, factory, overwrite=overwrite)
 
 
 def register_scenario(name, factory=None, *, topology="fleet", overwrite=False):
@@ -206,6 +256,8 @@ def scenario_topology(name: str) -> str:
 register_arbiter("equal-share", EqualShareArbiter)
 register_arbiter("weighted-share", WeightedShareArbiter)
 register_arbiter("quality-fair", QualityFairArbiter)
+register_arbiter("sla-weighted", SlaWeightedArbiter, sla_aware=True)
+register_arbiter("sla-quality-fair", SlaQualityFairArbiter, sla_aware=True)
 
 
 def _no_admission(capacity=None):
@@ -215,22 +267,37 @@ def _no_admission(capacity=None):
 
 register_admission("feasibility", AdmissionController)
 register_admission("none", _no_admission)
+register_admission("priority", PriorityAdmissionController, sla_aware=True)
 
 register_placement("round-robin", RoundRobinPlacement)
 register_placement("least-loaded", LeastLoadedPlacement)
 register_placement("best-fit", BestFitPlacement)
+register_placement("predictive", PredictivePlacement)
 register_placement("quality-aware", QualityAwarePlacement)
+register_placement("sla-aware", SlaPlacement, sla_aware=True)
 
 register_migration("none", NoMigration)
 register_migration("queue-rebalance", QueueRebalanceMigration)
 register_migration("load-balance", LoadBalanceMigration)
+register_migration("sla-aware", SlaMigration, sla_aware=True)
 
 register_balancer("headroom", HeadroomBalancer)
+
+register_renegotiation("step", StepRenegotiation)
+
+for _service_class in STANDARD_CLASSES:
+    register_service_class(_service_class)
 
 register_scenario("steady", steady_fleet, topology="fleet")
 register_scenario("heterogeneous-mix", heterogeneous_mix, topology="fleet")
 register_scenario("poisson-churn", poisson_churn, topology="fleet")
 register_scenario("flash-crowd", flash_crowd, topology="fleet")
+register_scenario("sla-churn", sla_churn, topology="fleet")
+register_scenario("gold-rush", gold_rush, topology="fleet")
 register_scenario("skewed-cluster", skewed_cluster, topology="cluster")
+register_scenario("skewed-churn", skewed_churn, topology="cluster")
 register_scenario("shard-outage", shard_outage, topology="cluster")
 register_scenario("flash-crowd-split", flash_crowd_split, topology="cluster")
+register_scenario(
+    "sla-skewed-cluster", sla_skewed_cluster, topology="cluster"
+)

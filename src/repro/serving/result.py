@@ -66,6 +66,14 @@ class ServingResult:
             return list(self.raw.rejected)
         return [s for shard in self.raw.shard_results for s in shard.rejected]
 
+    @property
+    def preempted(self) -> list[StreamSpec]:
+        """Queued specs evicted by priority admission (subset of
+        ``rejected``)."""
+        if isinstance(self.raw, FleetResult):
+            return list(self.raw.preempted)
+        return [s for shard in self.raw.shard_results for s in shard.preempted]
+
     def per_stream_quality(self) -> list[float]:
         return [o.result.mean_quality() for o in self.outcomes]
 
@@ -87,6 +95,22 @@ class ServingResult:
     @property
     def acceptance_ratio(self) -> float:
         return self.raw.acceptance_ratio
+
+    @property
+    def preempted_count(self) -> int:
+        return self.raw.preempted_count
+
+    def total_renegotiations(self) -> int:
+        return self.raw.total_renegotiations()
+
+    def per_class(self) -> dict[str, dict]:
+        """Per-service-class metrics (see
+        :func:`repro.streams.fleet.class_breakdown`), either topology."""
+        return self.raw.per_class()
+
+    def fairness_cross_class(self) -> float:
+        """Jain index over per-class mean quality."""
+        return self.raw.fairness_cross_class()
 
     def fairness_quality(self) -> float:
         """Jain index over every served stream's mean quality."""
@@ -127,6 +151,8 @@ class ServingResult:
             "rounds": self.rounds,
             "served": self.served_count,
             "rejected": self.rejected_count,
+            "preempted": self.preempted_count,
+            "renegotiations": self.total_renegotiations(),
             "acceptance_ratio": round(self.acceptance_ratio, 4),
             "frames": sum(len(o.result) for o in outcomes),
             "skips": sum(o.result.skip_count for o in outcomes),

@@ -28,6 +28,7 @@ from repro.serving.registry import (
     BALANCERS,
     MIGRATIONS,
     PLACEMENTS,
+    RENEGOTIATIONS,
     SCENARIOS,
 )
 from repro.serving.result import ServingResult
@@ -64,16 +65,28 @@ def _coerce_spec(spec) -> ServingSpec:
     )
 
 
-def _create(registry, policy: PolicySpec, field_name: str, *args):
-    """Registry create with kwarg mistakes reported against the field."""
+def _create(registry, policy: PolicySpec, field_name: str, *args, classes=None):
+    """Registry create with kwarg mistakes reported against the field.
+
+    ``classes`` is the spec's ``service_classes`` catalog: factories
+    registered with ``sla_aware=True`` metadata receive it as their
+    ``classes`` kwarg unless the policy's own kwargs already name one.
+    """
+    kwargs = policy.kwargs
+    if (
+        classes is not None
+        and "classes" not in kwargs
+        and registry.meta(policy.name).get("sla_aware")
+    ):
+        kwargs = {**kwargs, "classes": classes}
     try:
-        return registry.create(policy.name, *args, **policy.kwargs)
+        return registry.create(policy.name, *args, **kwargs)
     except TypeError as error:
         # chained, not suppressed: the TypeError may also be a bug
         # inside a third-party factory, so keep its traceback
         raise ConfigurationError(
             f"{field_name}: cannot construct {policy.name!r} "
-            f"with kwargs {policy.kwargs!r}: {error}"
+            f"with kwargs {kwargs!r}: {error}"
         ) from error
 
 
@@ -90,10 +103,11 @@ def build_scenario(spec: ServingSpec):
     return scenario
 
 
-def _optional(registry, policy: PolicySpec | None, field_name: str):
+def _optional(registry, policy: PolicySpec | None, field_name: str,
+              classes=None):
     if policy is None:
         return None
-    return _create(registry, policy, field_name)
+    return _create(registry, policy, field_name, classes=classes)
 
 
 def build_runner(
@@ -106,6 +120,10 @@ def build_runner(
     ``scenario`` is only needed to resolve a relative
     (``{"utilization": f}``) fleet capacity; pass the one you will run.
     """
+    classes = spec.service_classes
+    renegotiation = _optional(
+        RENEGOTIATIONS, spec.renegotiation, "renegotiation"
+    )
     if spec.topology == "fleet":
         # the scenario is only needed to resolve a relative capacity
         if scenario is None and isinstance(spec.capacity, Mapping):
@@ -114,16 +132,22 @@ def build_runner(
         admission = (
             None
             if spec.admission is None
-            else _create(ADMISSIONS, spec.admission, "admission", capacity)
+            else _create(
+                ADMISSIONS, spec.admission, "admission", capacity,
+                classes=classes,
+            )
         )
         return FleetRunner(
             capacity=capacity,
-            arbiter=_create(ARBITERS, spec.arbiter, "arbiter"),
+            arbiter=_create(ARBITERS, spec.arbiter, "arbiter",
+                            classes=classes),
             admission=admission,
             constraint_mode=spec.constraint_mode,
             granularity=spec.granularity,
             max_rounds=spec.max_rounds,
             observers=observers,
+            service_classes=classes,
+            renegotiation=renegotiation,
         )
     if spec.admission is None:
         admission_factory = None
@@ -131,20 +155,24 @@ def build_runner(
     else:
         gate = spec.admission
         admission_factory = lambda capacity: _create(
-            ADMISSIONS, gate, "admission", capacity
+            ADMISSIONS, gate, "admission", capacity, classes=classes
         )
         admission = True
     return ClusterRunner(
-        placement=_create(PLACEMENTS, spec.placement, "placement"),
-        migration=_optional(MIGRATIONS, spec.migration, "migration"),
+        placement=_create(PLACEMENTS, spec.placement, "placement",
+                          classes=classes),
+        migration=_optional(MIGRATIONS, spec.migration, "migration",
+                            classes=classes),
         balancer=_optional(BALANCERS, spec.balancer, "balancer"),
         max_rounds=spec.max_rounds,
         observers=observers,
-        arbiter=_create(ARBITERS, spec.arbiter, "arbiter"),
+        arbiter=_create(ARBITERS, spec.arbiter, "arbiter", classes=classes),
         admission=admission,
         admission_factory=admission_factory,
         constraint_mode=spec.constraint_mode,
         granularity=spec.granularity,
+        service_classes=classes,
+        renegotiation=renegotiation,
     )
 
 

@@ -29,6 +29,10 @@ Field reference
 ``balancer``       cluster only, optional: cross-shard headroom lending
 ``constraint_mode``/``granularity``  per-session controller settings
 ``max_rounds``     runaway-scenario safety valve
+``service_classes``  SLA catalog: class dicts, registered names, or
+                   ``ServiceClass`` instances; forwarded to every
+                   SLA-aware policy and to the runners' sessions
+``renegotiation``  mid-stream quality-target policy (``RENEGOTIATIONS``)
 =================  ====================================================
 
 Policy fields accept a bare name string as shorthand for
@@ -48,10 +52,12 @@ from repro.serving.registry import (
     BALANCERS,
     MIGRATIONS,
     PLACEMENTS,
+    RENEGOTIATIONS,
     SCENARIOS,
     TOPOLOGIES,
     scenario_topology,
 )
+from repro.sla.classes import ServiceClass, resolve_classes
 
 #: Controller constraint modes accepted by the simulator.
 CONSTRAINT_MODES = ("both", "average", "worst")
@@ -141,6 +147,8 @@ class ServingSpec:
     constraint_mode: str = "both"
     granularity: int = 1
     max_rounds: int = 100_000
+    service_classes: tuple[ServiceClass, ...] | None = None
+    renegotiation: PolicySpec | None = None
 
     # ------------------------------------------------------------------
     # eager validation — every error names its field
@@ -151,10 +159,13 @@ class ServingSpec:
             object.__setattr__(
                 self, name, PolicySpec.coerce(getattr(self, name), name)
             )
-        for name in ("admission", "placement", "migration", "balancer"):
+        for name in (
+            "admission", "placement", "migration", "balancer", "renegotiation",
+        ):
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, PolicySpec.coerce(value, name))
+        self._validate_service_classes()
 
         if self.topology not in TOPOLOGIES:
             raise ConfigurationError(
@@ -190,6 +201,13 @@ class ServingSpec:
         _check_policy(
             self.balancer, BALANCERS, "balancer", self.topology, "cluster"
         )
+        _check_policy(
+            self.renegotiation,
+            RENEGOTIATIONS,
+            "renegotiation",
+            self.topology,
+            None,
+        )
         if self.constraint_mode not in CONSTRAINT_MODES:
             raise ConfigurationError(
                 f"constraint_mode: must be one of {CONSTRAINT_MODES}, "
@@ -211,6 +229,28 @@ class ServingSpec:
             raise ConfigurationError(
                 f"max_rounds: must be an integer >= 1, got {self.max_rounds!r}"
             )
+
+    def _validate_service_classes(self) -> None:
+        if self.service_classes is None:
+            return
+        # a spec declares a *list* of classes (a bare name or mapping
+        # is almost certainly a forgotten pair of brackets); the item
+        # shapes themselves are resolve_classes' contract
+        if isinstance(self.service_classes, (str, Mapping)) or not hasattr(
+            self.service_classes, "__iter__"
+        ):
+            raise ConfigurationError(
+                "service_classes: expected a list of class dicts, "
+                f"registered names, or ServiceClass instances, got "
+                f"{type(self.service_classes).__name__}"
+            )
+        try:
+            catalog = resolve_classes(list(self.service_classes))
+        except ConfigurationError as error:
+            raise ConfigurationError(f"service_classes: {error}") from None
+        object.__setattr__(
+            self, "service_classes", tuple(catalog.values())
+        )
 
     def _validate_capacity(self) -> None:
         if self.topology == "cluster":
@@ -291,6 +331,12 @@ class ServingSpec:
             "constraint_mode": self.constraint_mode,
             "granularity": self.granularity,
             "max_rounds": self.max_rounds,
+            "service_classes": (
+                None
+                if self.service_classes is None
+                else [c.to_dict() for c in self.service_classes]
+            ),
+            "renegotiation": policy(self.renegotiation),
         }
 
     @classmethod

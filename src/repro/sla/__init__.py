@@ -1,0 +1,65 @@
+"""SLA-tiered serving: service classes threaded through every layer.
+
+The third serving subsystem (after the PR-1 fleet and PR-2 cluster
+layers): *whose* quality degrades first under overload becomes a
+declared, enforced contract instead of an emergent accident.
+
+* :mod:`repro.sla.classes` — :class:`ServiceClass` (weight, admission
+  priority, quality band, preemption rights), the standard
+  gold/silver/bronze catalog, catalog resolution;
+* :mod:`repro.sla.arbiter` — class-weighted capacity arbitration
+  (:class:`SlaWeightedArbiter`, :class:`SlaQualityFairArbiter`)
+  preserving the PR-1 conservation and floor invariants;
+* :mod:`repro.sla.admission` — :class:`PriorityAdmissionController`:
+  priority-ordered queue drain, queued-spec preemption (never running
+  sessions);
+* :mod:`repro.sla.renegotiation` — :class:`StepRenegotiation`:
+  mid-stream quality-target steps within the class floor;
+* :mod:`repro.sla.placement` / :mod:`repro.sla.migration` — gold gets
+  first claim on placement comfort and migration headroom;
+* :mod:`repro.sla.scenarios` — class-mixed churn, gold flash crowd,
+  classed skewed cluster.
+
+Everything registers by name in the serving registries (``ARBITERS``,
+``ADMISSIONS``, ``PLACEMENTS``, ``MIGRATIONS``, ``SLA_CLASSES``,
+``RENEGOTIATIONS``, ``SCENARIOS``), so SLA runs are plain
+:class:`~repro.serving.spec.ServingSpec` documents with zero new
+runner entry points.
+"""
+
+from repro.sla.admission import PriorityAdmissionController
+from repro.sla.arbiter import SlaQualityFairArbiter, SlaWeightedArbiter
+from repro.sla.classes import (
+    BRONZE,
+    GOLD,
+    SILVER,
+    STANDARD_CLASSES,
+    UNCLASSED,
+    ServiceClass,
+    class_of,
+    resolve_classes,
+)
+from repro.sla.migration import SlaMigration
+from repro.sla.placement import SlaPlacement
+from repro.sla.renegotiation import StepRenegotiation
+from repro.sla.scenarios import gold_rush, sla_churn, sla_skewed_cluster
+
+__all__ = [
+    "BRONZE",
+    "GOLD",
+    "PriorityAdmissionController",
+    "SILVER",
+    "STANDARD_CLASSES",
+    "ServiceClass",
+    "SlaMigration",
+    "SlaPlacement",
+    "SlaQualityFairArbiter",
+    "SlaWeightedArbiter",
+    "StepRenegotiation",
+    "UNCLASSED",
+    "class_of",
+    "gold_rush",
+    "resolve_classes",
+    "sla_churn",
+    "sla_skewed_cluster",
+]

@@ -1,0 +1,222 @@
+"""Service classes: the per-application QoS contract of the SLA layer.
+
+Kalinahia (PAPERS.md) argues quality of service must be *declared* by
+the application and *enforced* by the execution platform; a
+:class:`ServiceClass` is that declaration for the serving substrate.
+It names a class (``gold`` / ``silver`` / ``bronze`` in the standard
+catalog), gives it an arbitration ``weight`` (Changuel et al.'s
+class-weighted quality share), an ``admission_priority`` (queued
+arrivals drain highest-priority-first, and a class with ``preempt``
+rights may evict lower-priority *queued* — never running — specs from
+a full wait queue), and a quality band: ``target_quality`` is the
+normalized [0, 1] delivered quality the class is sold, ``min_quality``
+the floor mid-stream renegotiation may step the target down to under
+sustained starvation.
+
+Classes are plain frozen data — JSON-round-trippable through
+``to_dict`` / ``from_dict`` — so a :class:`~repro.serving.spec.ServingSpec`
+can declare custom classes inline, and every SLA-aware policy accepts
+a ``classes`` kwarg (names from the ``SLA_CLASSES`` registry, dicts,
+or :class:`ServiceClass` instances, resolved by
+:func:`resolve_classes`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """One SLA tier: arbitration weight, admission priority, quality band.
+
+    ``weight`` scales the class's share of arbitrated surplus;
+    ``admission_priority`` orders queued arrivals (higher drains
+    first); ``min_quality`` / ``target_quality`` are normalized [0, 1]
+    delivered-quality levels (floor and contract); ``preempt`` grants
+    the right to evict lower-priority queued specs from a full queue.
+    """
+
+    name: str
+    weight: float = 1.0
+    admission_priority: int = 0
+    min_quality: float = 0.0
+    target_quality: float = 1.0
+    preempt: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(
+                f"service class name must be a non-empty string, "
+                f"got {self.name!r}"
+            )
+        if not self.weight > 0:
+            raise ConfigurationError(
+                f"service class {self.name!r}: weight must be positive, "
+                f"got {self.weight!r}"
+            )
+        if (
+            isinstance(self.admission_priority, bool)
+            or not isinstance(self.admission_priority, int)
+        ):
+            raise ConfigurationError(
+                f"service class {self.name!r}: admission_priority must be "
+                f"an integer, got {self.admission_priority!r}"
+            )
+        if not 0.0 <= self.min_quality <= 1.0:
+            raise ConfigurationError(
+                f"service class {self.name!r}: min_quality must be in "
+                f"[0, 1], got {self.min_quality!r}"
+            )
+        if not 0.0 <= self.target_quality <= 1.0:
+            raise ConfigurationError(
+                f"service class {self.name!r}: target_quality must be in "
+                f"[0, 1], got {self.target_quality!r}"
+            )
+        if self.min_quality > self.target_quality:
+            raise ConfigurationError(
+                f"service class {self.name!r}: min_quality "
+                f"{self.min_quality} exceeds target_quality "
+                f"{self.target_quality}"
+            )
+        if not isinstance(self.preempt, bool):
+            raise ConfigurationError(
+                f"service class {self.name!r}: preempt must be a bool, "
+                f"got {self.preempt!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "admission_priority": self.admission_priority,
+            "min_quality": self.min_quality,
+            "target_quality": self.target_quality,
+            "preempt": self.preempt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServiceClass":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"a service class must be a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown service class field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        if "name" not in data:
+            raise ConfigurationError("service class needs a 'name'")
+        return cls(**dict(data))
+
+
+#: The standard catalog: three tiers whose defaults encode "whose
+#: quality degrades first".  Gold pays for 3x arbitration weight, top
+#: queue priority, preemption rights and a high floor; bronze is the
+#: best-effort tier that absorbs overload.
+GOLD = ServiceClass(
+    name="gold",
+    weight=3.0,
+    admission_priority=2,
+    min_quality=0.5,
+    target_quality=0.85,
+    preempt=True,
+)
+SILVER = ServiceClass(
+    name="silver",
+    weight=1.5,
+    admission_priority=1,
+    min_quality=0.25,
+    target_quality=0.65,
+)
+BRONZE = ServiceClass(
+    name="bronze",
+    weight=1.0,
+    admission_priority=0,
+    min_quality=0.05,
+    target_quality=0.5,
+)
+
+STANDARD_CLASSES = (GOLD, SILVER, BRONZE)
+
+#: What an unclassed stream looks like to SLA-aware policies: neutral
+#: weight, lowest priority, no preemption rights, and a full-scale
+#: target (it pulls surplus like the classless quality-fair arbiter).
+UNCLASSED = ServiceClass(name="unclassed", weight=1.0, admission_priority=0)
+
+
+def _resolve_class(item) -> ServiceClass:
+    if isinstance(item, ServiceClass):
+        return item
+    if isinstance(item, str):
+        # deferred: the registry module registers *this* module's
+        # catalog, so importing it at module scope would cycle
+        from repro.serving.registry import SLA_CLASSES
+
+        return SLA_CLASSES.create(item)
+    if isinstance(item, Mapping):
+        return ServiceClass.from_dict(item)
+    raise ConfigurationError(
+        f"service classes must be names, dicts, or ServiceClass "
+        f"instances, got {type(item).__name__}"
+    )
+
+
+def resolve_classes(classes=None) -> dict[str, ServiceClass]:
+    """Normalize a ``classes`` policy kwarg into ``{name: ServiceClass}``.
+
+    Accepts ``None`` (the standard gold/silver/bronze catalog), a
+    mapping of name to class (keys must match the class names — the
+    catalog is always looked up by the name streams carry, so an alias
+    key would silently never match), or an iterable whose items are
+    :class:`ServiceClass` instances, class dicts, or registered names
+    (resolved through the ``SLA_CLASSES`` registry).  Duplicate names
+    are a configuration error.
+    """
+    if classes is None:
+        return {c.name: c for c in STANDARD_CLASSES}
+    catalog: dict[str, ServiceClass] = {}
+    if isinstance(classes, Mapping):
+        for key, item in classes.items():
+            resolved = _resolve_class(item)
+            if resolved.name != key:
+                raise ConfigurationError(
+                    f"service class catalog key {key!r} does not match "
+                    f"the class's own name {resolved.name!r} (streams "
+                    "are looked up by class name, so an alias key would "
+                    "silently never match)"
+                )
+            catalog[key] = resolved
+    else:
+        for item in classes:
+            resolved = _resolve_class(item)
+            if resolved.name in catalog:
+                raise ConfigurationError(
+                    f"duplicate service class {resolved.name!r}"
+                )
+            catalog[resolved.name] = resolved
+    if not catalog:
+        raise ConfigurationError("service classes must not be empty")
+    return catalog
+
+
+def class_of(catalog: Mapping[str, ServiceClass], name) -> ServiceClass:
+    """The catalog entry for ``name``, or the neutral :data:`UNCLASSED`.
+
+    SLA-aware policies never hard-fail on an unknown or missing class
+    mid-round — an unclassed stream is served best-effort — but session
+    construction (which happens once, at admission) validates strictly.
+    """
+    if name is None:
+        return UNCLASSED
+    return catalog.get(name, UNCLASSED)

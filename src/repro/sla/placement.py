@@ -1,0 +1,63 @@
+"""SLA-aware placement: premium streams get comfort, best-effort packs.
+
+Placement is the cluster's first SLA decision: *where* an arrival
+lands fixes both whether it is admitted and how big its arbitrated
+share can ever get.  :class:`SlaPlacement` splits the catalog at
+``premium_priority``:
+
+* **premium** arrivals (admission priority at or above the threshold —
+  gold, and silver by default) take the accepting shard with the
+  largest *projected per-stream share* (the predictive criterion), so
+  a gold stream is never wedged into a nearly-full shard merely
+  because it fits;
+* **best-effort** arrivals pack best-fit style (tightest accepting
+  headroom), preserving the big holes — and the comfortable shares —
+  for the premium tiers.
+
+Both halves fall back through the same tiers as best-fit when no
+shard accepts immediately (most headroom among feasible-alone shards,
+else least loaded).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.placement import (
+    BestFitPlacement,
+    PlacementPolicy,
+    PredictivePlacement,
+)
+from repro.cluster.shard import Shard
+from repro.errors import ConfigurationError
+from repro.sla.classes import class_of, resolve_classes
+from repro.streams.scenarios import StreamSpec
+
+
+class SlaPlacement(PlacementPolicy):
+    """Class-split routing: share-seeking for premium, packing below.
+
+    Parameters
+    ----------
+    classes:
+        Service-class catalog (``None`` = standard gold/silver/bronze).
+    premium_priority:
+        Admission priority at or above which an arrival is routed by
+        projected share instead of packed.
+    """
+
+    name = "sla-aware"
+
+    def __init__(self, classes=None, premium_priority: int = 1) -> None:
+        if premium_priority < 0:
+            raise ConfigurationError("premium_priority must be >= 0")
+        self.classes = resolve_classes(classes)
+        self.premium_priority = premium_priority
+        self._premium = PredictivePlacement()
+        self._packer = BestFitPlacement()
+
+    def _choose(
+        self, spec: StreamSpec, shards: list[Shard], round_index: int
+    ) -> Shard:
+        cls = class_of(self.classes, spec.service_class)
+        if cls.admission_priority >= self.premium_priority:
+            return self._premium._choose(spec, shards, round_index)
+        return self._packer._choose(spec, shards, round_index)

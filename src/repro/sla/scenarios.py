@@ -1,0 +1,127 @@
+"""SLA workloads: class-mixed churn and gold flash crowds.
+
+The SLA scenario family layers service classes onto the PR-1/PR-2
+arrival generators, producing the two regimes the tier machinery is
+for:
+
+* :func:`sla_churn` — Poisson arrival/departure churn with classes
+  assigned cyclically (the steady-state mixed-tenancy workload);
+* :func:`gold_rush` — a bronze background fleet filling the pool, then
+  a simultaneous gold crowd landing on top (the overload regime of the
+  acceptance criterion: gold must hold acceptance and target quality
+  while bronze degrades gracefully);
+* :func:`sla_skewed_cluster` — the PR-2 skewed heavy/light cluster mix
+  with classes layered on, for SLA-aware placement and migration.
+
+All generators return plain replayable spec lists, deterministic for a
+fixed seed, like every other scenario in the repo.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.scenarios import ClusterScenario, skewed_cluster
+from repro.errors import ConfigurationError
+from repro.experiments.configs import scaled_config
+from repro.streams.scenarios import (
+    Scenario,
+    StreamSpec,
+    poisson_churn,
+    with_classes,
+)
+
+#: Default class cycle for mixed workloads: one gold and one silver
+#: for every two bronze — premium is the minority, as sold.
+DEFAULT_CLASS_CYCLE = ("gold", "bronze", "silver", "bronze")
+
+
+def sla_churn(
+    rate: float = 1.0,
+    horizon: int = 20,
+    mean_frames: int = 16,
+    min_frames: int = 8,
+    seed: int = 7,
+    initial: int = 6,
+    classes: tuple[str, ...] = DEFAULT_CLASS_CYCLE,
+) -> Scenario:
+    """Class-mixed Poisson churn: tiers arrive and depart continuously."""
+    scenario = poisson_churn(
+        rate=rate,
+        horizon=horizon,
+        mean_frames=mean_frames,
+        min_frames=min_frames,
+        seed=seed,
+        initial=initial,
+    )
+    scenario = with_classes(scenario, tuple(classes))
+    return Scenario(name=f"sla-churn[rate={rate}]", specs=scenario.specs)
+
+
+def gold_rush(
+    bronze: int = 12,
+    gold: int = 6,
+    crowd_round: int = 4,
+    frames: int = 12,
+    scale: int = 27,
+    seed: int = 7,
+) -> Scenario:
+    """A gold flash crowd over a bronze background.
+
+    ``bronze`` best-effort streams occupy the pool from round 0; at
+    ``crowd_round`` a simultaneous crowd of ``gold`` premium streams
+    lands on top.  This is the workload of the SLA acceptance
+    criterion: with priority admission and SLA arbitration the gold
+    crowd must be absorbed at target quality while the bronze
+    background absorbs the overload.
+    """
+    if bronze < 1 or gold < 1:
+        raise ConfigurationError("bronze and gold must be >= 1")
+    specs = [
+        StreamSpec(
+            name=f"bronze-{i}",
+            arrival_round=0,
+            config=scaled_config(scale=scale, seed=seed + i, frames=frames),
+            service_class="bronze",
+        )
+        for i in range(bronze)
+    ]
+    specs += [
+        StreamSpec(
+            name=f"gold-{i}",
+            arrival_round=crowd_round,
+            config=scaled_config(
+                scale=scale, seed=seed + 1000 + i, frames=frames
+            ),
+            service_class="gold",
+        )
+        for i in range(gold)
+    ]
+    return Scenario(
+        name=f"gold-rush[{bronze}+{gold}@{crowd_round}]",
+        specs=tuple(specs),
+    )
+
+
+def sla_skewed_cluster(
+    streams: int = 12,
+    shards: int = 3,
+    frames: int = 12,
+    seed: int = 7,
+    utilization: float = 0.5,
+    skew: float = 8.0,
+    classes: tuple[str, ...] = DEFAULT_CLASS_CYCLE,
+) -> ClusterScenario:
+    """The skewed heavy/light cluster mix with service classes layered on."""
+    base = skewed_cluster(
+        streams=streams,
+        shards=shards,
+        frames=frames,
+        seed=seed,
+        utilization=utilization,
+        skew=skew,
+    )
+    return ClusterScenario(
+        name=f"sla-{base.name}",
+        arrivals=with_classes(base.arrivals, tuple(classes)),
+        shard_capacities=base.shard_capacities,
+        events=base.events,
+    )

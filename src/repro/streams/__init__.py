@@ -39,6 +39,7 @@ from repro.streams.scenarios import (
     heterogeneous_mix,
     poisson_churn,
     steady_fleet,
+    with_classes,
 )
 from repro.streams.session import SessionStep, StreamSession
 
@@ -65,4 +66,5 @@ __all__ = [
     "poisson_churn",
     "qmin_demand",
     "steady_fleet",
+    "with_classes",
 ]

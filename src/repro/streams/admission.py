@@ -41,12 +41,19 @@ class AdmissionDecision(enum.Enum):
 
 @dataclass(frozen=True)
 class AdmissionVerdict:
-    """Decision plus the feasibility evidence it was based on."""
+    """Decision plus the feasibility evidence it was based on.
+
+    ``preempted`` lists queued specs this offer evicted from the wait
+    queue (priority admission only — the base controller never
+    preempts).  Each evicted spec is finally rejected: the runner
+    records it in the result and fires ``on_reject`` exactly once.
+    """
 
     decision: AdmissionDecision
     demand: float
     remaining_before: float
     report: FeasibilityReport | None
+    preempted: tuple = ()
 
 
 @lru_cache(maxsize=256)
@@ -175,19 +182,35 @@ class AdmissionController:
                 AdmissionDecision.ACCEPTED, demand, remaining, report
             )
         alone = self.feasibility(config, self.budget)
-        queue_full = (
-            self.queue_limit is not None and len(self.queue) >= self.queue_limit
-        )
-        if alone.feasible and not queue_full:
-            self.queue.append(stream)
-            self.queued_count += 1
-            return AdmissionVerdict(
-                AdmissionDecision.QUEUED, demand, remaining, report
-            )
+        if alone.feasible:
+            queued, preempted = self._try_queue(stream)
+            if queued:
+                self.queued_count += 1
+                return AdmissionVerdict(
+                    AdmissionDecision.QUEUED,
+                    demand,
+                    remaining,
+                    report,
+                    preempted=preempted,
+                )
         self.rejected_count += 1
         return AdmissionVerdict(
             AdmissionDecision.REJECTED, demand, remaining, report
         )
+
+    def _try_queue(self, stream) -> tuple[bool, tuple]:
+        """Park a feasible-alone stream in the wait queue if possible.
+
+        Returns ``(queued, preempted)``.  The base policy is plain
+        bounded FIFO — a full queue refuses and never evicts; priority
+        admission (:mod:`repro.sla.admission`) overrides this to evict
+        lower-priority queued specs for arrivals with preemption
+        rights.
+        """
+        if self.queue_limit is not None and len(self.queue) >= self.queue_limit:
+            return False, ()
+        self.queue.append(stream)
+        return True, ()
 
     def release(self, config: SimulationConfig) -> None:
         """Return a departing stream's committed demand to the pool."""
@@ -214,16 +237,27 @@ class AdmissionController:
         self._freed_since_retry = False
         admitted = []
         while self.queue:
-            head = self.queue[0]
+            index = self._queue_head_index()
+            head = self.queue[index]
             config = head.config if hasattr(head, "config") else head
             report = self.feasibility(config, self.remaining)
             if not report.feasible:
                 break
-            self.queue.popleft()
+            del self.queue[index]
             self.committed += qmin_demand(config, self.mode)
             self.accepted_count += 1
             admitted.append(head)
         return admitted
+
+    def _queue_head_index(self) -> int:
+        """Which queued stream is next in line (head-of-line FIFO here).
+
+        Priority admission overrides this to drain the highest
+        admission priority first (FIFO within a priority); the chosen
+        stream still head-of-line blocks everyone behind it, so a
+        class can never be starved by later same-class arrivals.
+        """
+        return 0
 
     @property
     def acceptance_ratio(self) -> float:

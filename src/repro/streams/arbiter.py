@@ -40,7 +40,10 @@ class CapacityRequest:
     (nan until the stream has encoded its first frame); ``backlog`` is
     the stream's input-buffer occupancy — informational for now (none
     of the built-in policies read it), reserved for backlog-aware
-    arbiters.
+    arbiters.  ``service_class`` and ``target_quality`` are the SLA
+    signals (class name and the session's current — possibly
+    renegotiated — normalized quality target); classless arbiters
+    ignore both, so non-SLA runs are unaffected.
     """
 
     stream_id: str
@@ -48,6 +51,8 @@ class CapacityRequest:
     weight: float = 1.0
     recent_quality: float = math.nan
     backlog: int = 0
+    service_class: str | None = None
+    target_quality: float = math.nan
 
     def __post_init__(self) -> None:
         if self.demand <= 0:

@@ -23,6 +23,7 @@ quality/PSNR, Jain fairness, skip and deadline-miss totals.
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,16 +39,128 @@ from repro.streams.session import StreamSession
 
 @dataclass(frozen=True)
 class StreamOutcome:
-    """One served stream's spec, its run, and when it was active."""
+    """One served stream's spec, its run, and when it was active.
+
+    ``renegotiations`` counts the mid-stream SLA quality-target steps
+    the session executed (0 for classless runs).
+    """
 
     spec: StreamSpec
     result: RunResult
     admitted_round: int
     finished_round: int
+    renegotiations: int = 0
 
     @property
     def rounds_active(self) -> int:
         return self.finished_round - self.admitted_round + 1
+
+
+def class_breakdown(outcomes, rejected, preempted) -> dict[str, dict]:
+    """Per-service-class serving metrics over one result's streams.
+
+    Shared by :class:`FleetResult`,
+    :class:`~repro.cluster.runner.ClusterResult`, and
+    :class:`~repro.serving.result.ServingResult`.  Unclassed streams
+    group under ``"unclassed"``.  ``preempted`` is the subset of
+    ``rejected`` evicted from admission queues, so its counts are
+    *included* in ``rejected`` (never double-counted in acceptance).
+    """
+    buckets: dict[str, dict] = {}
+
+    def bucket(service_class):
+        key = service_class if service_class is not None else "unclassed"
+        return buckets.setdefault(
+            key,
+            {
+                "served": 0,
+                "rejected": 0,
+                "preempted": 0,
+                "renegotiations": 0,
+                "qualities": [],
+            },
+        )
+
+    for outcome in outcomes:
+        entry = bucket(outcome.spec.service_class)
+        entry["served"] += 1
+        entry["renegotiations"] += outcome.renegotiations
+        entry["qualities"].append(outcome.result.mean_quality())
+    for spec in rejected:
+        bucket(spec.service_class)["rejected"] += 1
+    for spec in preempted:
+        bucket(spec.service_class)["preempted"] += 1
+
+    breakdown: dict[str, dict] = {}
+    for name in sorted(buckets):
+        entry = buckets.pop(name)
+        qualities = entry.pop("qualities")
+        finite = [v for v in qualities if np.isfinite(v)]
+        decided = entry["served"] + entry["rejected"]
+        entry["acceptance_ratio"] = (
+            entry["served"] / decided if decided else 1.0
+        )
+        entry["mean_quality"] = (
+            float(np.mean(finite)) if finite else math.nan
+        )
+        entry["fairness_quality"] = jain_fairness_index(qualities)
+        breakdown[name] = entry
+    return breakdown
+
+
+def _normalize_classes(classes) -> dict | None:
+    """``service_classes`` runner kwarg -> ``{name: ServiceClass}``.
+
+    Accepts ``None``, a mapping, or an iterable of classes (anything
+    with a ``.name``); pure attribute access, so this module never
+    imports the SLA package.
+    """
+    if classes is None:
+        return None
+    if isinstance(classes, Mapping):
+        return dict(classes)
+    return {c.name: c for c in classes}
+
+
+def session_sla_kwargs(spec: StreamSpec, catalog, renegotiation) -> dict:
+    """The SLA constructor kwargs a classed spec's session needs.
+
+    Empty for unclassed specs.  ``catalog`` of ``None`` resolves to the
+    standard gold/silver/bronze catalog (imported lazily — the streams
+    layer never depends on :mod:`repro.sla` at import time); a classed
+    spec whose name is missing from the catalog is a configuration
+    error caught at session start, not mid-round.
+    """
+    if spec.service_class is None:
+        return {}
+    if catalog is None:
+        from repro.sla.classes import resolve_classes
+
+        catalog = resolve_classes(None)
+    cls = catalog.get(spec.service_class)
+    if cls is None:
+        raise ConfigurationError(
+            f"stream {spec.name!r} declares service class "
+            f"{spec.service_class!r}, not in the catalog "
+            f"{sorted(catalog)}"
+        )
+    return {
+        "service_class": spec.service_class,
+        "quality_target": cls.target_quality,
+        "quality_floor": cls.min_quality,
+        "renegotiation": renegotiation,
+    }
+
+
+def cross_class_fairness(breakdown: dict[str, dict]) -> float:
+    """Jain index over per-class mean quality — Changuel et al.'s
+    across-class quality-share criterion (idle classes excluded)."""
+    values = [
+        entry["mean_quality"]
+        for entry in breakdown.values()
+        if np.isfinite(entry["mean_quality"])
+    ]
+    return jain_fairness_index(values)
 
 
 @dataclass
@@ -60,6 +173,9 @@ class FleetResult:
     rounds: int
     streams: list[StreamOutcome] = field(default_factory=list)
     rejected: list[StreamSpec] = field(default_factory=list)
+    #: subset of ``rejected``: queued specs evicted by priority
+    #: admission (each appears in BOTH lists, counted once as rejected)
+    preempted: list[StreamSpec] = field(default_factory=list)
     peak_concurrency: int = 0
 
     # ------------------------------------------------------------------
@@ -92,9 +208,24 @@ class FleetResult:
         return len(self.rejected)
 
     @property
+    def preempted_count(self) -> int:
+        return len(self.preempted)
+
+    @property
     def acceptance_ratio(self) -> float:
         offered = self.served_count + self.rejected_count
         return self.served_count / offered if offered else 1.0
+
+    def total_renegotiations(self) -> int:
+        return sum(o.renegotiations for o in self.streams)
+
+    def per_class(self) -> dict[str, dict]:
+        """Per-service-class metrics (see :func:`class_breakdown`)."""
+        return class_breakdown(self.streams, self.rejected, self.preempted)
+
+    def fairness_cross_class(self) -> float:
+        """Jain index over per-class mean quality."""
+        return cross_class_fairness(self.per_class())
 
     def fairness_quality(self) -> float:
         """Jain index over per-stream mean quality — the headline metric."""
@@ -129,6 +260,8 @@ class FleetResult:
             "rounds": self.rounds,
             "served": self.served_count,
             "rejected": self.rejected_count,
+            "preempted": self.preempted_count,
+            "renegotiations": self.total_renegotiations(),
             "acceptance_ratio": round(self.acceptance_ratio, 4),
             "peak_concurrency": self.peak_concurrency,
             "frames": self.total_frames(),
@@ -161,8 +294,17 @@ class FleetRunner:
     observers:
         :class:`~repro.serving.observers.RoundObserver` instances whose
         lifecycle hooks (``on_round`` / ``on_admit`` / ``on_reject`` /
-        ``on_depart``) fire during ``run``.  Observers are never read
-        back, so they cannot change results.
+        ``on_depart`` / ``on_renegotiate``) fire during ``run``.
+        Observers are never read back, so they cannot change results.
+    service_classes:
+        SLA catalog for classed stream specs — a mapping of name to
+        :class:`~repro.sla.classes.ServiceClass` or an iterable of
+        classes.  ``None`` lazily falls back to the standard
+        gold/silver/bronze catalog the first time a classed spec is
+        admitted; classless scenarios never touch it.
+    renegotiation:
+        Optional stateless mid-stream renegotiation policy applied to
+        every classed session (see :mod:`repro.sla.renegotiation`).
     """
 
     def __init__(
@@ -174,6 +316,8 @@ class FleetRunner:
         granularity: int = 1,
         max_rounds: int = 100_000,
         observers=(),
+        service_classes=None,
+        renegotiation=None,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError("capacity must be positive")
@@ -186,6 +330,8 @@ class FleetRunner:
         self.granularity = granularity
         self.max_rounds = max_rounds
         self.observers = tuple(observers)
+        self.service_classes = _normalize_classes(service_classes)
+        self.renegotiation = renegotiation
 
     def reset(self) -> None:
         """Restore the just-constructed state for another ``run``.
@@ -211,6 +357,9 @@ class FleetRunner:
             constraint_mode=self.constraint_mode,
             granularity=self.granularity,
             weight=spec.weight,
+            **session_sla_kwargs(
+                spec, self.service_classes, self.renegotiation
+            ),
         )
 
     def run(self, scenario: Scenario) -> FleetResult:
@@ -245,6 +394,14 @@ class FleetRunner:
                     self._admit(spec, round_index, active, spec_of, admitted_round)
                     continue
                 verdict = self.admission.offer(spec)
+                # a queued spec evicted by this offer is finally
+                # rejected here and ONLY here: once in the totals,
+                # one on_reject (tests/serving/test_serving_observers)
+                for victim in verdict.preempted:
+                    result.rejected.append(victim)
+                    result.preempted.append(victim)
+                    for observer in self.observers:
+                        observer.on_reject(victim, round_index)
                 if verdict.decision is AdmissionDecision.ACCEPTED:
                     self._admit(spec, round_index, active, spec_of, admitted_round)
                 elif verdict.decision is AdmissionDecision.REJECTED:
@@ -267,6 +424,8 @@ class FleetRunner:
                         weight=s.weight,
                         recent_quality=s.normalized_recent_quality(),
                         backlog=s.backlog,
+                        service_class=s.service_class,
+                        target_quality=s.quality_target,
                     )
                     for s in active
                 ]
@@ -277,6 +436,12 @@ class FleetRunner:
                 still_active: list[StreamSession] = []
                 for session in active:
                     step = session.step(allocations[session.stream_id])
+                    if step.renegotiated is not None:
+                        old, new = step.renegotiated
+                        for observer in self.observers:
+                            observer.on_renegotiate(
+                                session.stream_id, old, new, round_index
+                            )
                     if step.finished:
                         spec = spec_of.pop(session.stream_id)
                         outcome = StreamOutcome(
@@ -286,6 +451,7 @@ class FleetRunner:
                                 session.stream_id
                             ),
                             finished_round=round_index,
+                            renegotiations=session.renegotiation_count,
                         )
                         result.streams.append(outcome)
                         if self.admission is not None:

@@ -38,16 +38,29 @@ MIX_SCALES = (15, 20, 27)
 
 @dataclass(frozen=True)
 class StreamSpec:
-    """One stream's arrival into the fleet."""
+    """One stream's arrival into the fleet.
+
+    ``service_class`` names the stream's SLA tier (see
+    :mod:`repro.sla.classes`); ``None`` means unclassed — SLA-aware
+    policies serve it best-effort and classless policies ignore it.
+    """
 
     name: str
     arrival_round: int
     config: SimulationConfig
     weight: float = 1.0
+    service_class: str | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_round < 0:
             raise ConfigurationError("arrival_round must be >= 0")
+        if self.service_class is not None and (
+            not isinstance(self.service_class, str) or not self.service_class
+        ):
+            raise ConfigurationError(
+                f"service_class must be a non-empty string or None, "
+                f"got {self.service_class!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -199,5 +212,22 @@ def with_frames(scenario: Scenario, frames: int) -> Scenario:
     specs = tuple(
         replace(s, config=replace(s.config, frames=frames))
         for s in scenario.specs
+    )
+    return Scenario(name=scenario.name, specs=specs)
+
+
+def with_classes(scenario: Scenario, classes: tuple[str, ...]) -> Scenario:
+    """Copy of ``scenario`` with service classes assigned cyclically.
+
+    ``classes`` is a cycle of class names (``None`` entries leave a
+    stream unclassed); stream ``i`` in spec order gets
+    ``classes[i % len(classes)]``.  This is how the SLA scenario
+    generators layer tiers onto the existing arrival generators.
+    """
+    if not classes:
+        raise ConfigurationError("classes cycle must not be empty")
+    specs = tuple(
+        replace(s, service_class=classes[i % len(classes)])
+        for i, s in enumerate(scenario.specs)
     )
     return Scenario(name=scenario.name, specs=specs)

@@ -53,7 +53,12 @@ MIN_SPEED = 1e-3
 
 @dataclass(frozen=True)
 class SessionStep:
-    """What one scheduling round did to one stream."""
+    """What one scheduling round did to one stream.
+
+    ``renegotiated`` is ``(old_target, new_target)`` when this round's
+    grant and quality history moved the session's SLA quality target
+    (see :mod:`repro.sla.renegotiation`), else ``None``.
+    """
 
     round_index: int
     granted: float
@@ -63,6 +68,7 @@ class SessionStep:
     encoded: tuple[int, ...]
     backlog: int
     finished: bool
+    renegotiated: tuple[float, float] | None = None
 
 
 class StreamSession:
@@ -82,6 +88,19 @@ class StreamSession:
     quality_ewma:
         Smoothing factor for the ``recent_quality`` feedback signal the
         quality-fair arbiter consumes (1.0 = last frame only).
+    service_class:
+        SLA class name carried into every capacity request (``None``
+        = unclassed; SLA-aware policies serve best-effort).
+    quality_target / quality_floor:
+        Normalized [0, 1] delivered-quality contract: the current
+        target (nan disables SLA targeting) and the floor
+        renegotiation may step down to.  The initial target is also
+        the ceiling a recovered session steps back up to.
+    renegotiation:
+        Optional stateless policy (see
+        :class:`repro.sla.renegotiation.StepRenegotiation`) moving
+        ``quality_target`` with observed starvation/headroom; all its
+        counters live on this session.
     """
 
     def __init__(
@@ -92,17 +111,37 @@ class StreamSession:
         granularity: int = 1,
         weight: float = 1.0,
         quality_ewma: float = 0.35,
+        service_class: str | None = None,
+        quality_target: float = math.nan,
+        quality_floor: float = 0.0,
+        renegotiation=None,
     ) -> None:
         if weight <= 0:
             raise ConfigurationError(f"stream weight must be positive, got {weight}")
         if not 0.0 < quality_ewma <= 1.0:
             raise ConfigurationError("quality_ewma must be in (0, 1]")
+        if not math.isnan(quality_target) and not 0.0 <= quality_target <= 1.0:
+            raise ConfigurationError("quality_target must be in [0, 1] or nan")
+        if not 0.0 <= quality_floor <= 1.0:
+            raise ConfigurationError("quality_floor must be in [0, 1]")
+        if not math.isnan(quality_target) and quality_floor > quality_target:
+            raise ConfigurationError(
+                "quality_floor must not exceed quality_target"
+            )
         self.stream_id = stream_id
         self.config = config
         self.constraint_mode = constraint_mode
         self.granularity = granularity
         self.weight = weight
         self.quality_ewma = quality_ewma
+        self.service_class = service_class
+        self.quality_target = quality_target
+        self.quality_floor = quality_floor
+        self.quality_ceiling = quality_target
+        self.renegotiation = renegotiation
+        self.renegotiation_count = 0
+        self._starved_rounds = 0
+        self._headroom_rounds = 0
 
         self.simulation = simulation_for(config)
         if constraint_mode not in self.simulation._rows:
@@ -218,6 +257,7 @@ class StreamSession:
         self._round += 1
         self._total_granted += allocation
         self._emit_signal()
+        renegotiated = self._renegotiate(allocation)
         return SessionStep(
             round_index=round_index,
             granted=allocation,
@@ -227,7 +267,43 @@ class StreamSession:
             encoded=tuple(encoded),
             backlog=len(self._pending),
             finished=self.finished,
+            renegotiated=renegotiated,
         )
+
+    def _renegotiate(self, allocation: float) -> tuple[float, float] | None:
+        """Move the quality target per this round's grant and quality."""
+        policy = self.renegotiation
+        if policy is None or math.isnan(self.quality_target):
+            return None
+        quality = self.normalized_recent_quality()
+        if not math.isnan(quality) and policy.starved(
+            quality, self.quality_target, allocation, self.demand
+        ):
+            self._starved_rounds += 1
+            self._headroom_rounds = 0
+        elif policy.headroom(allocation, self.demand):
+            self._headroom_rounds += 1
+            self._starved_rounds = 0
+        else:
+            self._starved_rounds = 0
+            self._headroom_rounds = 0
+        old = self.quality_target
+        if (
+            self._starved_rounds >= policy.patience
+            and old > self.quality_floor
+        ):
+            self.quality_target = policy.step_down(old, self.quality_floor)
+            self._starved_rounds = 0
+        elif (
+            self._headroom_rounds >= policy.recovery_patience
+            and old < self.quality_ceiling
+        ):
+            self.quality_target = policy.step_up(old, self.quality_ceiling)
+            self._headroom_rounds = 0
+        if self.quality_target == old:
+            return None
+        self.renegotiation_count += 1
+        return (old, self.quality_target)
 
     def _start_pending_through(self, limit: float, speed: float) -> list[int]:
         """Encode pending frames whose start time is <= ``limit``."""

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "fleet_serving.py",
     "cluster_serving.py",
     "serving_spec.py",
+    "sla_serving.py",
 ]
 HEAVY_EXAMPLES = ["video_encoder.py", "soft_deadlines.py"]
 

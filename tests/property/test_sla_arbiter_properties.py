@@ -1,0 +1,117 @@
+"""Property tests: SLA arbiters keep the PR-2 serving invariants.
+
+For ANY service-class weight vector (arbitrary positive weights,
+priorities, and quality bands) and ANY request mix, the SLA-aware
+arbiters must preserve exactly what the classless arbiters guarantee:
+grants are non-negative and finite, they sum to the offered capacity
+(conservation), and every stream — whatever its class — receives at
+least ``floor_share`` of its equal share (no starvation above the
+floor).  Class weights may only redistribute the surplus.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sla import ServiceClass, SlaQualityFairArbiter, SlaWeightedArbiter
+from repro.streams.arbiter import CapacityRequest
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+CLASS_NAMES = ("alpha", "beta", "gamma", "delta")
+
+
+class_defs = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-3, max_value=1e3),   # weight
+        st.integers(min_value=0, max_value=9),      # admission priority
+        st.floats(min_value=0.0, max_value=1.0),    # target quality
+        st.booleans(),                              # preempt
+    ),
+    min_size=1,
+    max_size=len(CLASS_NAMES),
+)
+
+request_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=1e3, max_value=1e9),     # demand
+        st.floats(min_value=1e-3, max_value=100.0),  # stream weight
+        st.one_of(                                   # recent quality
+            st.none(), st.floats(min_value=0.0, max_value=1.0)
+        ),
+        st.one_of(                                   # session target
+            st.none(), st.floats(min_value=0.0, max_value=1.0)
+        ),
+        st.integers(min_value=-1, max_value=len(CLASS_NAMES) - 1),  # class
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def build_catalog(raw):
+    return [
+        ServiceClass(
+            name=CLASS_NAMES[i],
+            weight=weight,
+            admission_priority=priority,
+            min_quality=0.0,
+            target_quality=target,
+            preempt=preempt,
+        )
+        for i, (weight, priority, target, preempt) in enumerate(raw)
+    ]
+
+
+def build_requests(raw, catalog):
+    requests = []
+    for i, (demand, weight, quality, target, class_index) in enumerate(raw):
+        # class_index -1 -> unclassed; an index past the catalog end
+        # exercises the unknown-class fallback
+        name = CLASS_NAMES[class_index] if class_index >= 0 else None
+        requests.append(
+            CapacityRequest(
+                stream_id=f"s{i}",
+                demand=demand,
+                weight=weight,
+                recent_quality=math.nan if quality is None else quality,
+                service_class=name,
+                target_quality=math.nan if target is None else target,
+            )
+        )
+    return requests
+
+
+@given(
+    class_raw=class_defs,
+    request_raw=request_lists,
+    capacity=st.floats(min_value=0.0, max_value=1e12),
+    floor=st.floats(min_value=0.0, max_value=1.0),
+    quality_fair=st.booleans(),
+)
+@SETTINGS
+def test_sla_arbiters_conserve_and_never_starve(
+    class_raw, request_raw, capacity, floor, quality_fair
+):
+    catalog = build_catalog(class_raw)
+    arbiter = (
+        SlaQualityFairArbiter(floor_share=floor, classes=catalog)
+        if quality_fair
+        else SlaWeightedArbiter(floor_share=floor, classes=catalog)
+    )
+    requests = build_requests(request_raw, catalog)
+    allocations = arbiter.allocate(requests, capacity)
+
+    assert set(allocations) == {r.stream_id for r in requests}
+    for grant in allocations.values():
+        assert grant >= 0.0
+        assert math.isfinite(grant)
+    total = sum(allocations.values())
+    # conservation: the grants sum to exactly the offered capacity
+    assert total == pytest.approx(capacity, rel=1e-9, abs=1e-6)
+    # no starvation above the floor, whatever the class weights
+    guaranteed = floor * capacity / len(requests)
+    for grant in allocations.values():
+        assert grant >= guaranteed * (1 - 1e-9) - 1e-9

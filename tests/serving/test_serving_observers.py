@@ -24,6 +24,19 @@ CLUSTER_SPEC = {
     "migration": "load-balance",
 }
 
+# overload + a bounded queue: priority admission preempts queued
+# bronze when the gold crowd lands, and renegotiation steps targets
+SLA_SPEC = {
+    "scenario": {"name": "gold-rush",
+                 "kwargs": {"bronze": 8, "gold": 3, "crowd_round": 2,
+                            "frames": 6, "scale": 27}},
+    "capacity": {"utilization": 0.35},
+    "arbiter": "sla-quality-fair",
+    "admission": {"name": "priority",
+                  "kwargs": {"queue_limit": 2, "utilization_cap": 0.7}},
+    "renegotiation": "step",
+}
+
 
 class RecordingObserver(RoundObserver):
     """Keeps full event payloads for payload-shape assertions."""
@@ -33,6 +46,7 @@ class RecordingObserver(RoundObserver):
         self.admits = []
         self.rejects = []
         self.migrations = []
+        self.renegotiations = []
         self.departs = []
 
     def on_round(self, round_index, allocations, capacity, shard_id=None):
@@ -46,6 +60,12 @@ class RecordingObserver(RoundObserver):
 
     def on_migrate(self, move, round_index):
         self.migrations.append((move, round_index))
+
+    def on_renegotiate(self, stream_id, old_target, new_target, round_index,
+                       shard_id=None):
+        self.renegotiations.append(
+            (stream_id, old_target, new_target, round_index, shard_id)
+        )
 
     def on_depart(self, outcome, round_index, shard_id=None):
         self.departs.append((outcome, round_index, shard_id))
@@ -135,6 +155,59 @@ class TestClusterHooks:
             assert departed_at[move.stream_id] == last_move.dest
 
 
+class TestSlaAccounting:
+    """Preempted queued specs: exactly one on_reject, counted once."""
+
+    def test_preempted_specs_rejected_exactly_once(self):
+        observer = RecordingObserver()
+        counting = CountingObserver()
+        result = serve(SLA_SPEC, observers=[observer, counting])
+        preempted = result.preempted
+        assert preempted, "the gold crowd should preempt queued bronze"
+        # every preempted spec is also in the rejected totals — once
+        assert result.rejected_count == len(result.rejected)
+        rejected_names = [s.name for s in result.rejected]
+        for spec in preempted:
+            assert rejected_names.count(spec.name) == 1
+        # observers saw each final rejection exactly once, preempted
+        # included, and nothing else
+        observed = [s.name for s, _, _ in observer.rejects]
+        assert sorted(observed) == sorted(rejected_names)
+        assert counting.rejected == result.rejected_count
+        # bookkeeping identity: every offered stream is decided once
+        offered = result.served_count + result.rejected_count
+        assert counting.admitted == result.served_count
+        assert counting.departed == result.served_count
+        assert offered == 11
+        # preempted streams never ran: no admit, no depart
+        admitted_names = {s.name for s, _, _ in observer.admits}
+        assert admitted_names.isdisjoint(s.name for s in preempted)
+
+    def test_renegotiation_hook_matches_result_counts(self):
+        observer = RecordingObserver()
+        counting = CountingObserver()
+        result = serve(SLA_SPEC, observers=[observer, counting])
+        total = result.total_renegotiations()
+        assert total > 0, "overload should trigger renegotiation"
+        assert counting.renegotiated == total
+        assert len(observer.renegotiations) == total
+        # payloads are (stream, old, new) with a real step each time
+        served_names = {o.spec.name for o in result.outcomes}
+        for stream_id, old, new, _, shard_id in observer.renegotiations:
+            assert stream_id in served_names
+            assert new != old
+            assert 0.0 <= new <= 1.0
+            assert shard_id is None  # fleet topology
+        # per-class totals agree with the hook stream ids
+        by_class = result.per_class()
+        reneg_names = {r[0] for r in observer.renegotiations}
+        class_of_stream = {
+            o.spec.name: o.spec.service_class for o in result.outcomes
+        }
+        for name in reneg_names:
+            assert by_class[class_of_stream[name]]["renegotiations"] > 0
+
+
 class TestBaseObserverIsNoOp:
     def test_hooks_exist_and_return_none(self):
         observer = RoundObserver()
@@ -143,4 +216,5 @@ class TestBaseObserverIsNoOp:
         assert observer.on_admit(None, 0) is None
         assert observer.on_reject(None, 0) is None
         assert observer.on_migrate(None, 0) is None
+        assert observer.on_renegotiate("s", 0.8, 0.7, 0) is None
         assert observer.on_depart(None, 0) is None

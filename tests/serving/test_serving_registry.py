@@ -13,7 +13,9 @@ from repro.serving import (
     BALANCERS,
     MIGRATIONS,
     PLACEMENTS,
+    RENEGOTIATIONS,
     SCENARIOS,
+    SLA_CLASSES,
     PolicyRegistry,
     ServingSpec,
     register_arbiter,
@@ -34,17 +36,24 @@ from repro.streams.scenarios import steady_fleet
 class TestBuiltins:
     def test_every_family_is_seeded(self):
         assert ARBITERS.names() == [
-            "equal-share", "quality-fair", "weighted-share",
+            "equal-share", "quality-fair", "sla-quality-fair",
+            "sla-weighted", "weighted-share",
         ]
-        assert ADMISSIONS.names() == ["feasibility", "none"]
+        assert ADMISSIONS.names() == ["feasibility", "none", "priority"]
         assert PLACEMENTS.names() == [
-            "best-fit", "least-loaded", "quality-aware", "round-robin",
+            "best-fit", "least-loaded", "predictive", "quality-aware",
+            "round-robin", "sla-aware",
         ]
-        assert MIGRATIONS.names() == ["load-balance", "none", "queue-rebalance"]
+        assert MIGRATIONS.names() == [
+            "load-balance", "none", "queue-rebalance", "sla-aware",
+        ]
         assert "headroom" in BALANCERS
+        assert SLA_CLASSES.names() == ["bronze", "gold", "silver"]
+        assert "step" in RENEGOTIATIONS
         assert set(SCENARIOS.names()) >= {
             "steady", "heterogeneous-mix", "poisson-churn", "flash-crowd",
-            "skewed-cluster", "shard-outage", "flash-crowd-split",
+            "sla-churn", "gold-rush", "skewed-cluster", "skewed-churn",
+            "shard-outage", "flash-crowd-split", "sla-skewed-cluster",
         }
 
     def test_create_passes_kwargs(self):

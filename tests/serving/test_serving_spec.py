@@ -181,3 +181,65 @@ class TestValidationErrorsNameTheField:
             {**FLEET_DOC, "arbiter": {"name": "quality-fair", "extra": 1}},
             "arbiter.*unexpected",
         )
+
+
+SLA_DOC = {
+    "topology": "fleet",
+    "scenario": {"name": "gold-rush",
+                 "kwargs": {"bronze": 3, "gold": 2, "crowd_round": 1,
+                            "frames": 4, "scale": 27}},
+    "capacity": 20e6,
+    "arbiter": "sla-quality-fair",
+    "admission": {"name": "priority", "kwargs": {"queue_limit": 2}},
+    "renegotiation": {"name": "step", "kwargs": {"patience": 2}},
+    "service_classes": [
+        {"name": "gold", "weight": 4.0, "admission_priority": 2,
+         "min_quality": 0.4, "target_quality": 0.9, "preempt": True},
+        "bronze",
+    ],
+}
+
+
+class TestSlaFields:
+    def test_service_classes_resolve_eagerly(self):
+        from repro.sla import BRONZE, ServiceClass
+
+        spec = ServingSpec.from_dict(SLA_DOC)
+        assert all(
+            isinstance(c, ServiceClass) for c in spec.service_classes
+        )
+        # registered names resolve to the catalog entries
+        assert spec.service_classes[1] == BRONZE
+        assert spec.renegotiation == PolicySpec("step", {"patience": 2})
+
+    def test_sla_document_round_trips(self):
+        spec = ServingSpec.from_dict(SLA_DOC)
+        assert ServingSpec.from_dict(spec.to_dict()) == spec
+        assert ServingSpec.from_json(spec.to_json()) == spec
+        direct = serve(spec)
+        reloaded = serve(ServingSpec.from_json(spec.to_json()))
+        assert direct.summary() == reloaded.summary()
+        assert direct.per_class() == reloaded.per_class()
+
+    def test_validation_errors_name_the_field(self):
+        def expect(document, field):
+            with pytest.raises(ConfigurationError, match=field):
+                ServingSpec.from_dict(document)
+
+        expect({**SLA_DOC, "renegotiation": "nope"}, "renegotiation")
+        expect({**SLA_DOC, "service_classes": "gold"}, "service_classes")
+        expect({**SLA_DOC, "service_classes": []}, "service_classes")
+        expect(
+            {**SLA_DOC, "service_classes": ["no-such-tier"]},
+            "service_classes.*unknown",
+        )
+        expect(
+            {**SLA_DOC, "service_classes": ["gold", "gold"]},
+            "service_classes.*duplicate",
+        )
+        expect(
+            {**SLA_DOC,
+             "service_classes": [{"name": "x", "weight": -1.0}]},
+            "service_classes.*weight",
+        )
+        expect({**SLA_DOC, "service_classes": [42]}, "service_classes")

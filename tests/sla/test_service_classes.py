@@ -1,0 +1,120 @@
+"""ServiceClass declarations: validation, JSON, catalogs, registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import SLA_CLASSES, register_service_class
+from repro.sla import (
+    BRONZE,
+    GOLD,
+    SILVER,
+    STANDARD_CLASSES,
+    UNCLASSED,
+    ServiceClass,
+    class_of,
+    resolve_classes,
+)
+
+
+class TestServiceClass:
+    def test_round_trips_through_dict(self):
+        for cls in STANDARD_CLASSES:
+            assert ServiceClass.from_dict(cls.to_dict()) == cls
+
+    def test_standard_catalog_ordering(self):
+        # the tiers are ordered in every dimension that matters
+        assert GOLD.weight > SILVER.weight > BRONZE.weight
+        assert (
+            GOLD.admission_priority
+            > SILVER.admission_priority
+            > BRONZE.admission_priority
+        )
+        assert GOLD.target_quality > SILVER.target_quality > BRONZE.target_quality
+        assert GOLD.min_quality > SILVER.min_quality > BRONZE.min_quality
+        assert GOLD.preempt and not BRONZE.preempt
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"name": ""},
+            {"name": "x", "weight": 0.0},
+            {"name": "x", "weight": -1.0},
+            {"name": "x", "admission_priority": 1.5},
+            {"name": "x", "admission_priority": True},
+            {"name": "x", "min_quality": -0.1},
+            {"name": "x", "target_quality": 1.1},
+            {"name": "x", "min_quality": 0.8, "target_quality": 0.5},
+            {"name": "x", "preempt": "yes"},
+        ],
+    )
+    def test_invalid_fields_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ServiceClass.from_dict(bad)
+
+    def test_unknown_and_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown service class"):
+            ServiceClass.from_dict({"name": "x", "color": "blue"})
+        with pytest.raises(ConfigurationError, match="needs a 'name'"):
+            ServiceClass.from_dict({"weight": 2.0})
+
+
+class TestResolveClasses:
+    def test_none_is_the_standard_catalog(self):
+        catalog = resolve_classes(None)
+        assert set(catalog) == {"gold", "silver", "bronze"}
+        assert catalog["gold"] == GOLD
+
+    def test_accepts_names_dicts_and_instances(self):
+        custom = ServiceClass("platinum", weight=5.0, admission_priority=9)
+        catalog = resolve_classes(
+            ["gold", {"name": "basic", "weight": 0.5}, custom]
+        )
+        assert catalog["gold"] == GOLD
+        assert catalog["basic"].weight == 0.5
+        assert catalog["platinum"] is custom
+
+    def test_accepts_a_mapping(self):
+        catalog = resolve_classes({"gold": GOLD, "bronze": BRONZE})
+        assert set(catalog) == {"gold", "bronze"}
+
+    def test_mapping_alias_keys_rejected(self):
+        # an alias key would never match a stream's service_class, so
+        # the tier would silently degrade to UNCLASSED — refuse it
+        with pytest.raises(ConfigurationError, match="alias"):
+            resolve_classes({"premium": GOLD})
+
+    def test_duplicates_and_empties_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            resolve_classes(["gold", "gold"])
+        with pytest.raises(ConfigurationError, match="empty"):
+            resolve_classes([])
+        with pytest.raises(ConfigurationError, match="unknown service class"):
+            resolve_classes(["no-such-tier"])
+
+    def test_class_of_falls_back_to_unclassed(self):
+        catalog = resolve_classes(None)
+        assert class_of(catalog, "gold") == GOLD
+        assert class_of(catalog, None) == UNCLASSED
+        assert class_of(catalog, "mystery") == UNCLASSED
+        # the neutral fallback never preempts and pulls full-scale
+        assert not UNCLASSED.preempt
+        assert UNCLASSED.target_quality == 1.0
+
+
+class TestRegistry:
+    def test_standard_classes_registered(self):
+        assert SLA_CLASSES.names() == ["bronze", "gold", "silver"]
+        assert SLA_CLASSES.create("gold") == GOLD
+
+    def test_register_custom_class(self):
+        cls = ServiceClass("test-tier", weight=2.0)
+        register_service_class(cls)
+        try:
+            assert SLA_CLASSES.create("test-tier") == cls
+            assert resolve_classes(["test-tier"])["test-tier"] == cls
+        finally:
+            SLA_CLASSES.unregister("test-tier")
+
+    def test_register_rejects_non_classes(self):
+        with pytest.raises(ConfigurationError, match="ServiceClass"):
+            register_service_class({"name": "oops"})

@@ -1,0 +1,102 @@
+"""SLA arbitration: class weights and targets steer the surplus."""
+
+import math
+
+import pytest
+
+from repro.sla import ServiceClass, SlaQualityFairArbiter, SlaWeightedArbiter
+from repro.streams.arbiter import CapacityRequest
+
+CAPACITY = 100.0
+
+
+def request(stream_id, service_class, quality=0.3, target=math.nan,
+            demand=10.0, weight=1.0):
+    return CapacityRequest(
+        stream_id=stream_id,
+        demand=demand,
+        weight=weight,
+        recent_quality=quality,
+        service_class=service_class,
+        target_quality=target,
+    )
+
+
+class TestSlaWeighted:
+    def test_class_weight_scales_the_share(self):
+        arbiter = SlaWeightedArbiter(floor_share=0.0)
+        grants = arbiter.allocate(
+            [request("g", "gold"), request("b", "bronze")], CAPACITY
+        )
+        # gold weight 3.0 vs bronze 1.0, identical demand
+        assert grants["g"] == pytest.approx(3.0 * grants["b"])
+        assert sum(grants.values()) == pytest.approx(CAPACITY)
+
+    def test_unclassed_streams_get_neutral_weight(self):
+        arbiter = SlaWeightedArbiter(floor_share=0.0)
+        grants = arbiter.allocate(
+            [request("u", None), request("b", "bronze")], CAPACITY
+        )
+        assert grants["u"] == pytest.approx(grants["b"])
+
+    def test_conservation_with_floor(self):
+        arbiter = SlaWeightedArbiter(floor_share=0.5)
+        grants = arbiter.allocate(
+            [request("g", "gold"), request("b", "bronze")], CAPACITY
+        )
+        assert sum(grants.values()) == pytest.approx(CAPACITY)
+        # the floor guarantees bronze at least half its equal share
+        assert grants["b"] >= 0.5 * CAPACITY / 2
+
+
+class TestSlaQualityFair:
+    def test_gold_below_target_outpulls_bronze_below_target(self):
+        arbiter = SlaQualityFairArbiter(floor_share=0.0)
+        # both at the same delivered quality; gold's target (0.85) is
+        # further away than bronze's (0.5) AND its class weight is 3x
+        grants = arbiter.allocate(
+            [request("g", "gold", quality=0.4),
+             request("b", "bronze", quality=0.4)],
+            CAPACITY,
+        )
+        assert grants["g"] > 2 * grants["b"]
+
+    def test_stream_above_its_target_yields_surplus(self):
+        arbiter = SlaQualityFairArbiter(floor_share=0.0)
+        grants = arbiter.allocate(
+            [request("done", "bronze", quality=0.9),
+             request("hungry", "bronze", quality=0.1)],
+            CAPACITY,
+        )
+        assert grants["hungry"] > 5 * grants["done"]
+
+    def test_renegotiated_target_overrides_class_target(self):
+        arbiter = SlaQualityFairArbiter(floor_share=0.0)
+        # same class, same quality; the renegotiated-down stream
+        # (target 0.4, nearly met) should pull far less than the one
+        # still holding the class contract
+        grants = arbiter.allocate(
+            [request("stepped", "gold", quality=0.35, target=0.4),
+             request("contract", "gold", quality=0.35)],
+            CAPACITY,
+        )
+        assert grants["contract"] > grants["stepped"]
+
+    def test_custom_catalog(self):
+        vip = ServiceClass("vip", weight=10.0, target_quality=1.0)
+        arbiter = SlaQualityFairArbiter(floor_share=0.0, classes=[vip, "bronze"])
+        grants = arbiter.allocate(
+            [request("v", "vip", quality=0.3),
+             request("b", "bronze", quality=0.3)],
+            CAPACITY,
+        )
+        assert grants["v"] > grants["b"]
+
+    def test_nan_quality_treated_as_maximally_deficient(self):
+        arbiter = SlaQualityFairArbiter(floor_share=0.0)
+        grants = arbiter.allocate(
+            [request("new", "bronze", quality=math.nan),
+             request("old", "bronze", quality=0.45)],
+            CAPACITY,
+        )
+        assert grants["new"] > grants["old"]

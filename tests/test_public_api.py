@@ -44,6 +44,7 @@ class TestTopLevel:
         "repro.streams",
         "repro.cluster",
         "repro.serving",
+        "repro.sla",
         "repro.baselines",
         "repro.tool",
         "repro.analysis",

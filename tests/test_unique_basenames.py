@@ -1,0 +1,39 @@
+"""Repo-wide guard: test file basenames are unique.
+
+Neither ``tests/`` nor ``benchmarks/`` ships ``__init__.py`` files, so
+pytest imports every test module by its *basename*.  Two files with
+the same basename in different directories collide at collection time
+and abort the whole run (the tier-1 failure fixed ad hoc in PR 1 by
+renaming ``tests/baselines/test_policies.py``).  This check turns that
+silent landmine into a named failure at the moment the duplicate is
+introduced.
+"""
+
+from collections import Counter
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TEST_TREES = ("tests", "benchmarks")
+
+
+def test_test_file_basenames_are_unique():
+    files = [
+        path
+        for tree in TEST_TREES
+        for path in (REPO_ROOT / tree).rglob("test_*.py")
+    ]
+    assert files, "expected to find test files"
+    counts = Counter(path.name for path in files)
+    duplicates = {
+        name: sorted(
+            str(path.relative_to(REPO_ROOT))
+            for path in files
+            if path.name == name
+        )
+        for name, count in counts.items()
+        if count > 1
+    }
+    assert not duplicates, (
+        "duplicate test basenames collide at pytest collection "
+        f"(rename one of each): {duplicates}"
+    )
