@@ -10,6 +10,7 @@ figure (run pytest with ``-s`` to see them).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -17,6 +18,11 @@ import pytest
 from repro.experiments.configs import benchmark_config
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Repo root: ``BENCH_<name>.json`` trajectory files land here so the
+#: headline numbers of each bench are tracked in-tree PR-over-PR
+#: (``benchmarks/results/`` holds the bulkier per-series CSV/JSON).
+REPO_ROOT = Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +35,20 @@ def config():
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+def write_bench_trajectory(name: str, payload: dict) -> Path:
+    """Write one bench's headline numbers to ``BENCH_<name>.json``.
+
+    The file lives at the repo root and is committed, so diffs across
+    PRs are the perf/quality trajectory of the repo.  Keys are sorted
+    for stable diffs; keep payloads to headline scalars.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def run_once(benchmark, function, *args, **kwargs):

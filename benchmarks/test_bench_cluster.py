@@ -24,7 +24,7 @@ import json
 from repro.analysis.report import cluster_compare_table
 from repro.serving import ServingSpec, serve
 
-from conftest import run_once
+from conftest import run_once, write_bench_trajectory
 
 PLACEMENTS = ("round-robin", "least-loaded", "best-fit", "quality-aware")
 
@@ -88,6 +88,16 @@ def test_bench_cluster_placement(benchmark, results_dir):
 
     blind = plain["round-robin"]
     aware = plain["best-fit"]
+    write_bench_trajectory("cluster", {
+        "blind_acceptance": round(blind.acceptance_ratio, 4),
+        "best_fit_acceptance": round(aware.acceptance_ratio, 4),
+        "best_fit_quality": round(aware.mean_quality(), 4),
+        "migration_fairness_gain": round(
+            migrating["round-robin"].raw.fairness_cross_shard()
+            - plain["round-robin"].raw.fairness_cross_shard(),
+            4,
+        ),
+    })
     # acceptance criterion 1: feasibility-aware placement serves
     # streams blind rotation rejects
     assert aware.acceptance_ratio > blind.acceptance_ratio + 0.1

@@ -1,0 +1,132 @@
+"""Telemetry overhead bench: full observability must be ~free.
+
+The observability acceptance criterion: attaching the **entire**
+telemetry suite — windowed metrics, the structured event log, and the
+invariant ledger in enforcement mode — to the 1.5x-overload SLA gold
+rush must change **no result bit** and add **< 10% wall time** over the
+bare run.  The measured trajectory (bare seconds, telemetered seconds,
+overhead ratio, event/window/violation counts) is written to
+``BENCH_obs.json`` at the repo root so the cost is tracked PR-over-PR.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.obs import (
+    InvariantObserver,
+    PerfObserver,
+    StructuredEventLog,
+    TelemetryObserver,
+    parse_events,
+)
+from repro.serving import serve
+
+from conftest import run_once, write_bench_trajectory
+from test_bench_sla import BENCH_CLASSES, sla_spec
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return a == b
+
+
+def _summaries_identical(bare, telemetered) -> bool:
+    a, b = bare.summary(), telemetered.summary()
+    if set(a) != set(b):
+        return False
+    return all(_values_equal(a[k], b[k]) for k in a)
+
+
+def test_bench_obs_overhead(benchmark, results_dir):
+    """Full telemetry on the SLA overload bench: bit-identical, <10%."""
+    def bare_run():
+        return serve(sla_spec())
+
+    def telemetered_run():
+        observers = [
+            TelemetryObserver(window=5),
+            StructuredEventLog(),
+            InvariantObserver(enforce=True, classes=BENCH_CLASSES),
+            PerfObserver(),
+        ]
+        return serve(sla_spec(), observers=observers), observers
+
+    # warm caches (qmin memoization, imports) so both timings are fair
+    bare_run()
+
+    # min-of-3 wall time: robust to CI jitter without re-running the
+    # experiment many times
+    def timed(fn):
+        best, value = math.inf, None
+        for _ in range(3):
+            start = time.perf_counter()
+            value = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, value
+
+    bare_seconds, bare = timed(bare_run)
+
+    def measured():
+        return timed(telemetered_run)
+
+    telemetry_seconds, (telemetered, observers) = run_once(
+        benchmark, measured
+    )
+    metrics, events, invariants, perf = observers
+    overhead = telemetry_seconds / bare_seconds - 1.0
+
+    print(
+        f"\nbare {bare_seconds:.3f}s, full telemetry "
+        f"{telemetry_seconds:.3f}s, overhead {overhead * 100.0:+.2f}%"
+    )
+    print(
+        f"events={len(events.events)} windows={len(metrics.windows)} "
+        f"violations={len(invariants.violations)} "
+        f"phase_seconds={perf.total_seconds:.3f}"
+    )
+
+    # --- the acceptance criterion ---------------------------------
+    # not one result bit moved: summary, per-stream outcomes, rejects
+    assert _summaries_identical(bare, telemetered)
+    assert [o.spec.name for o in bare.outcomes] == [
+        o.spec.name for o in telemetered.outcomes
+    ]
+    for a, b in zip(bare.outcomes, telemetered.outcomes):
+        assert np.array_equal(
+            a.result.quality_series(),
+            b.result.quality_series(),
+            equal_nan=True,
+        )
+    assert [s.name for s in bare.rejected] == [
+        s.name for s in telemetered.rejected
+    ]
+    # enforcement mode ran clean: every invariant held
+    assert invariants.violations == []
+    # the event log is live and round-trips losslessly
+    assert len(events.events) > 50
+    assert parse_events(events.to_jsonl()) == events.events
+    # windows closed and phases timed
+    assert len(metrics.windows) >= 2
+    assert perf.total_seconds > 0
+    # the wall-time criterion
+    assert overhead < 0.10, f"telemetry overhead {overhead:.2%} >= 10%"
+
+    write_bench_trajectory("obs", {
+        "bare_seconds": round(bare_seconds, 4),
+        "telemetry_seconds": round(telemetry_seconds, 4),
+        "overhead_ratio": round(overhead, 4),
+        "events": len(events.events),
+        "windows": len(metrics.windows),
+        "invariant_violations": len(invariants.violations),
+        "invariants_enforced": sorted(
+            inv.name for inv in invariants.invariants
+        ),
+        "served": telemetered.summary()["served"],
+        "rejected": telemetered.summary()["rejected"],
+        "mean_quality": round(telemetered.summary()["mean_quality"], 4),
+    })

@@ -28,7 +28,7 @@ from repro.analysis.report import sla_table
 from repro.serving import RoundObserver, serve
 from repro.sla import resolve_classes
 
-from conftest import run_once
+from conftest import run_once, write_bench_trajectory
 
 
 def _load_example():
@@ -173,6 +173,18 @@ def test_bench_sla_gold_rush(benchmark, results_dir):
         - base_classes["bronze"]["mean_quality"]
     )
     assert sla_gap > 2 * base_gap
+
+    write_bench_trajectory("sla", {
+        "gold_acceptance": round(classes["gold"]["acceptance_ratio"], 4),
+        "gold_quality_norm": round(norm(classes["gold"]["mean_quality"]), 4),
+        "bronze_quality_norm": round(
+            norm(classes["bronze"]["mean_quality"]), 4
+        ),
+        "sla_gap": round(sla_gap, 4),
+        "baseline_gap": round(base_gap, 4),
+        "bronze_renegotiations": classes["bronze"]["renegotiations"],
+        "busy_rounds": observer.busy_rounds,
+    })
 
 
 def test_bench_sla_churn_tiers(benchmark, results_dir):

@@ -1,0 +1,169 @@
+"""``python -m repro`` — run a serving spec from the command line.
+
+The CLI is a thin shell over :func:`repro.serve` plus the telemetry
+observers, so a spec document runs with full observability and zero
+code::
+
+    python -m repro serve spec.json --events out.jsonl --metrics-window 50
+    cat spec.json | python -m repro serve - --invariants enforce --perf
+
+Exit status: ``0`` on a clean run, ``1`` when recorded invariants were
+violated (or enforcement aborted the run), ``2`` on a configuration
+error (bad spec, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Serve multimedia streams from a declarative spec.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run a ServingSpec JSON document end to end"
+    )
+    serve.add_argument(
+        "spec",
+        help="path to a ServingSpec JSON file, or '-' to read stdin",
+    )
+    serve.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="stream every lifecycle event to PATH as deterministic JSONL",
+    )
+    serve.add_argument(
+        "--metrics-window",
+        metavar="N",
+        type=int,
+        default=0,
+        help="collect tumbling-window telemetry every N rounds (0 = off)",
+    )
+    serve.add_argument(
+        "--invariants",
+        choices=("off", "record", "enforce"),
+        default="record",
+        help="check the runtime invariant ledger: record violations "
+        "(default), enforce (abort at the first), or off",
+    )
+    serve.add_argument(
+        "--perf",
+        action="store_true",
+        help="time controller phases and print the breakdown",
+    )
+    serve.add_argument(
+        "--timeline",
+        metavar="N",
+        type=int,
+        default=0,
+        help="print the last N events as a timeline table (0 = off)",
+    )
+    return parser
+
+
+def _read_spec(source: str):
+    if source == "-":
+        text = sys.stdin.read()
+    else:
+        path = Path(source)
+        if not path.exists():
+            raise ConfigurationError(f"spec file not found: {source}")
+        text = path.read_text()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"spec is not valid JSON: {error}"
+        ) from None
+
+
+def _cmd_serve(args) -> int:
+    import repro
+    from repro.analysis.report import (
+        invariant_table,
+        telemetry_table,
+        timeline_table,
+    )
+    from repro.obs import (
+        InvariantObserver,
+        InvariantViolationError,
+        PerfObserver,
+        StructuredEventLog,
+        TelemetryObserver,
+    )
+    from repro.serving.runner import _coerce_spec
+
+    spec = _coerce_spec(_read_spec(args.spec))
+
+    observers = []
+    telemetry = event_log = invariants = perf = None
+    if args.metrics_window:
+        telemetry = TelemetryObserver(window=args.metrics_window)
+        observers.append(telemetry)
+    if args.events or args.timeline:
+        event_log = StructuredEventLog(path=args.events)
+        observers.append(event_log)
+    if args.invariants != "off":
+        invariants = InvariantObserver(
+            enforce=args.invariants == "enforce",
+            classes=spec.service_classes,
+        )
+        observers.append(invariants)
+    if args.perf:
+        perf = PerfObserver()
+        observers.append(perf)
+
+    try:
+        result = repro.serve(spec, observers=observers)
+    except InvariantViolationError as error:
+        print(f"invariant violated: {error}", file=sys.stderr)
+        return 1
+
+    summary = result.summary()
+    print(f"scenario: {result.scenario_name} ({result.topology})")
+    for key, value in summary.items():
+        print(f"  {key:>20}: {value}")
+
+    if args.timeline and event_log is not None:
+        print("\ntimeline (last {} events):".format(args.timeline))
+        print(timeline_table(event_log.events, limit=args.timeline))
+    if telemetry is not None:
+        print(f"\ntelemetry windows ({telemetry.window} rounds each):")
+        print(telemetry_table(telemetry.windows))
+    if invariants is not None:
+        print("\ninvariant ledger:")
+        print(invariant_table(invariants))
+    if perf is not None:
+        print("\ncontroller phase timing:")
+        print(perf.report())
+    if args.events:
+        print(f"\nwrote {len(event_log.events)} events to {args.events}")
+
+    if invariants is not None and invariants.violations:
+        for violation in invariants.violations:
+            print(f"invariant violated: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _cmd_serve(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -252,6 +252,107 @@ def sla_table(result, classes=None) -> str:
     return _aligned_table(headers, rows)
 
 
+def timeline_table(events, limit: int | None = None) -> str:
+    """A structured event log rendered as a per-event timeline.
+
+    ``events`` is a sequence of :class:`repro.obs.events.Event` records
+    (``StructuredEventLog.events`` or :func:`repro.obs.load_events` on
+    a JSONL file); ``limit`` keeps only the last N events.  Each row
+    shows the round, pool, event kind, subject stream, and a
+    kind-specific detail column.
+    """
+    events = list(events)
+    if limit is not None:
+        events = events[-limit:]
+    rows = []
+    for event in events:
+        detail = "-"
+        kind = event.kind
+        if kind == "capacity":
+            detail = f"capacity={event.capacity / 1e6:.1f}M"
+        elif kind == "round":
+            granted = sum(event.allocations.values())
+            detail = (
+                f"streams={len(event.allocations)} "
+                f"granted={granted / 1e6:.1f}M/"
+                f"{event.capacity / 1e6:.1f}M"
+            )
+        elif kind == "admit":
+            detail = f"class={event.service_class or '-'} w={event.weight:.1f}"
+        elif kind == "reject":
+            detail = (
+                f"class={event.service_class or '-'} "
+                f"arrived={event.arrival_round}"
+            )
+        elif kind == "preempt":
+            detail = f"class={event.service_class or '-'}"
+        elif kind == "migrate":
+            detail = f"-> {event.dest} ({event.move_kind})"
+        elif kind == "renegotiate":
+            detail = f"{event.old_target:.2f} -> {event.new_target:.2f}"
+        elif kind == "depart":
+            q = event.mean_quality
+            detail = (
+                f"frames={event.frames} skips={event.skips} "
+                f"q={'-' if q is None else format(q, '.2f')}"
+            )
+        rows.append([
+            str(event.round),
+            event.shard or "-",
+            kind,
+            getattr(event, "stream", "-") or "-",
+            detail,
+        ])
+    return _aligned_table(["round", "pool", "event", "stream", "detail"], rows)
+
+
+def telemetry_table(windows: Sequence[Mapping]) -> str:
+    """Closed telemetry windows as one row each.
+
+    ``windows`` is ``TelemetryObserver.windows`` (each a plain summary
+    dict); pass ``observer.windows + [observer.current()]`` to include
+    the live window.
+    """
+    def opt(value, spec):
+        return "-" if value is None else format(value, spec)
+
+    rows = [
+        [
+            f"{w['start_round']}..{w['end_round']}",
+            str(w["admitted"]),
+            str(w["rejected"]),
+            str(w["preempted"]),
+            str(w["departed"]),
+            f"{w['acceptance']:.3f}",
+            f"{w['renegotiation_density']:.2f}",
+            opt(w["mean_quality"], ".2f"),
+            opt(w["min_quality"], ".2f"),
+            opt(w["fairness_per_class"], ".3f"),
+            opt(w["utilization"], ".3f"),
+        ]
+        for w in windows
+    ]
+    headers = [
+        "rounds", "adm", "rej", "pre", "dep", "accept", "reneg/r",
+        "q", "q_min", "fair", "util",
+    ]
+    return _aligned_table(headers, rows)
+
+
+def invariant_table(observer) -> str:
+    """An invariant ledger (``InvariantObserver``) as a pass/fail table."""
+    rows = [
+        [
+            name,
+            "ok" if entry["holds"] else "VIOLATED",
+            str(entry["violations"]),
+            entry["description"],
+        ]
+        for name, entry in observer.ledger().items()
+    ]
+    return _aligned_table(["invariant", "status", "count", "description"], rows)
+
+
 def fleet_stream_table(result) -> str:
     """Per-stream breakdown of one fleet run (label, rounds, quality)."""
     rows = []

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -352,6 +353,18 @@ class ClusterRunner:
             )
         for shard in shards:
             shard.observers = self.observers
+        timed = False
+        if self.observers:
+            # imported lazily — the cluster layer never depends on
+            # repro.serving at import time
+            from repro.serving.observers import phase_timing_enabled
+
+            timed = phase_timing_enabled(self.observers)
+            for shard in shards:
+                for observer in self.observers:
+                    observer.on_capacity(
+                        shard.capacity, 0, shard_id=shard.shard_id
+                    )
         result = ClusterResult(
             scenario_name=scenario.name,
             placement_name=getattr(
@@ -383,10 +396,20 @@ class ClusterRunner:
                 shard = shards[event.shard_index]
                 shard.set_capacity(shard.nominal_capacity * event.factor)
                 event_shards.add(shard.shard_id)
+                for observer in self.observers:
+                    observer.on_capacity(
+                        shard.capacity, round_index, shard_id=shard.shard_id
+                    )
             # 2. arrivals through placement + shard admission
+            t0 = perf_counter() if timed else 0.0
             for spec in arrivals.arrivals_at(round_index):
                 shard = self.placement.choose(spec, shards, round_index)
                 shard.offer(spec, round_index)
+            if timed:
+                now = perf_counter()
+                for observer in self.observers:
+                    observer.on_phase("placement", now - t0, round_index)
+                t0 = now
             # 3. migration
             if self.migration is not None:
                 moves = self.migration.plan(shards, round_index)
@@ -395,6 +418,10 @@ class ClusterRunner:
                         result.migrations.append(move)
                         for observer in self.observers:
                             observer.on_migrate(move, round_index)
+                if timed:
+                    now = perf_counter()
+                    for observer in self.observers:
+                        observer.on_phase("migration", now - t0, round_index)
             # 4. queued streams that now fit start
             for shard in shards:
                 shard.admit_queued(
@@ -408,11 +435,16 @@ class ClusterRunner:
                     # whatever survived the flush fits on an idle shard
                     shard.admit_queued(round_index, force=True)
             # 5 + 6. headroom lending, then every shard steps
+            t0 = perf_counter() if timed else 0.0
             effective = (
                 self.balancer.effective_capacities(shards)
                 if self.balancer is not None
                 else None
             )
+            if timed and self.balancer is not None:
+                now = perf_counter()
+                for observer in self.observers:
+                    observer.on_phase("balancing", now - t0, round_index)
             for shard in shards:
                 shard.step(
                     round_index,

@@ -24,6 +24,7 @@ per shard and the cluster result is a straight aggregation.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 
 from repro.errors import ConfigurationError
 from repro.streams.admission import (
@@ -105,6 +106,24 @@ class Shard:
         #: cycles of active demand summed over rounds — the shard's
         #: realized load, the basis of the cluster imbalance metric
         self.demand_cycles = 0.0
+
+    @property
+    def observers(self):
+        return self._observers
+
+    @observers.setter
+    def observers(self, value) -> None:
+        # keep the phase-timing flag in sync: the cluster runner
+        # reassigns observers at the start of every run
+        self._observers = tuple(value)
+        if self._observers:
+            # imported lazily — the cluster layer never depends on
+            # repro.serving at import time
+            from repro.serving.observers import phase_timing_enabled
+
+            self._timed = phase_timing_enabled(self._observers)
+        else:
+            self._timed = False
 
     # ------------------------------------------------------------------
     # placement-facing signals
@@ -192,6 +211,7 @@ class Shard:
             self.rejected.append(victim)
             self.preempted.append(victim)
             for observer in self.observers:
+                observer.on_preempt(victim, round_index, shard_id=self.shard_id)
                 observer.on_reject(victim, round_index, shard_id=self.shard_id)
         if verdict.decision is AdmissionDecision.ACCEPTED:
             self._start(spec, round_index)
@@ -327,6 +347,7 @@ class Shard:
             return 0
         self.peak_concurrency = max(self.peak_concurrency, len(self.active))
         self.demand_cycles += self.active_demand
+        t0 = perf_counter() if self._timed else 0.0
         requests = [
             CapacityRequest(
                 stream_id=s.stream_id,
@@ -340,6 +361,14 @@ class Shard:
             for s in self.active
         ]
         allocations = self.arbiter.allocate(requests, pool)
+        if self._timed:
+            now = perf_counter()
+            for observer in self.observers:
+                observer.on_phase(
+                    "arbitration", now - t0, round_index,
+                    shard_id=self.shard_id,
+                )
+            t0 = now
         for observer in self.observers:
             observer.on_round(
                 round_index, allocations, pool, shard_id=self.shard_id
@@ -378,6 +407,12 @@ class Shard:
             else:
                 still_active.append(session)
         self.active = still_active
+        if self._timed:
+            now = perf_counter()
+            for observer in self.observers:
+                observer.on_phase(
+                    "step", now - t0, round_index, shard_id=self.shard_id
+                )
         return finished
 
     def _start(self, spec: StreamSpec, round_index: int) -> None:

@@ -1,0 +1,89 @@
+"""Telemetry for the serving stack, attached purely through observers.
+
+Everything in this package is a
+:class:`~repro.serving.observers.RoundObserver`; runners never read
+observers back, so attaching any combination cannot change a run's
+results — the equivalence suite asserts bit-identity.
+
+* :class:`TelemetryObserver` — tumbling-window serving metrics over a
+  :class:`MetricsRegistry` of counters/gauges/histograms;
+* :class:`StructuredEventLog` — every lifecycle event as deterministic
+  JSONL, with a lossless loader (:func:`load_events`);
+* :class:`InvariantObserver` — the runtime invariant ledger: named
+  serving laws checked live, recording or enforcing;
+* :class:`PerfObserver` — controller-phase wall-time breakdown.
+"""
+
+from repro.obs.events import (
+    AdmitEvent,
+    CapacityEvent,
+    DepartEvent,
+    Event,
+    EVENT_TYPES,
+    MigrateEvent,
+    PreemptEvent,
+    RejectEvent,
+    RenegotiateEvent,
+    RoundEvent,
+    StructuredEventLog,
+    event_from_dict,
+    event_to_line,
+    events_to_jsonl,
+    load_events,
+    parse_events,
+)
+from repro.obs.invariants import (
+    INVARIANTS,
+    ClassFloors,
+    ExactlyOnceRejection,
+    GrantConservation,
+    Invariant,
+    InvariantObserver,
+    InvariantViolationError,
+    MigrationHeadroom,
+    Violation,
+    register_invariant,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryObserver,
+)
+from repro.obs.profiling import PerfObserver
+
+__all__ = [
+    "AdmitEvent",
+    "CapacityEvent",
+    "ClassFloors",
+    "Counter",
+    "DepartEvent",
+    "EVENT_TYPES",
+    "Event",
+    "ExactlyOnceRejection",
+    "Gauge",
+    "GrantConservation",
+    "Histogram",
+    "INVARIANTS",
+    "Invariant",
+    "InvariantObserver",
+    "InvariantViolationError",
+    "MetricsRegistry",
+    "MigrateEvent",
+    "MigrationHeadroom",
+    "PerfObserver",
+    "PreemptEvent",
+    "RejectEvent",
+    "RenegotiateEvent",
+    "RoundEvent",
+    "StructuredEventLog",
+    "TelemetryObserver",
+    "Violation",
+    "event_from_dict",
+    "event_to_line",
+    "events_to_jsonl",
+    "load_events",
+    "parse_events",
+    "register_invariant",
+]

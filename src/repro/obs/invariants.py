@@ -1,0 +1,498 @@
+"""The runtime invariant ledger: named, machine-checked serving laws.
+
+Every guarantee the serving stack's tests assert post-hoc becomes a
+named :class:`Invariant` checked **live** against the observer hook
+stream, so any run — including future engine refactors — can execute
+under a safety harness:
+
+* ``grant-conservation`` — on every busy round the arbiter's grants
+  are non-negative and sum exactly to the arbitrated pool;
+* ``class-floors`` — renegotiated quality targets never step below the
+  stream's declared class floor (nor outside [0, 1], nor to a no-op);
+* ``exactly-once-rejection`` — every offered stream is decided exactly
+  once: admitted xor rejected, each departure matches one admission,
+  and every preemption is accounted as exactly one rejection;
+* ``migration-headroom`` — a migration's implicit feasibility claim
+  holds: after any move the destination's committed qmin demand still
+  fits its nominal capacity, moves reference streams actually resident
+  on the source, and departures happen from the pool the ledger
+  believes the stream lives on.
+
+:class:`InvariantObserver` runs a set of invariants over a run and
+either records violations (``enforce=False``, the ledger mode) or
+raises :class:`InvariantViolationError` at the first one
+(``enforce=True``, the CI harness mode).  Third-party invariants
+register into :data:`INVARIANTS` via :func:`register_invariant`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.serving.observers import RoundObserver
+from repro.serving.registry import PolicyRegistry
+from repro.sla.classes import resolve_classes
+from repro.streams.admission import qmin_demand
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant occurrence, machine-readable."""
+
+    invariant: str
+    detail: str
+    round_index: int | None = None
+    shard_id: str | None = None
+    stream_id: str | None = None
+
+    def __str__(self) -> str:
+        where = f"round {self.round_index}"
+        if self.shard_id is not None:
+            where += f", {self.shard_id}"
+        if self.stream_id is not None:
+            where += f", stream {self.stream_id!r}"
+        return f"[{self.invariant}] {self.detail} ({where})"
+
+
+class InvariantViolationError(AssertionError):
+    """Raised in enforcement mode; carries the first violation."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class Invariant(RoundObserver):
+    """One named serving law, checked against the hook stream.
+
+    Subclasses override the lifecycle hooks they need and call
+    :meth:`violation` when the law breaks; ``finalize`` runs once at
+    the end of a completed run for whole-run accounting.  Instances are
+    single-run: the owning :class:`InvariantObserver` builds fresh ones.
+    """
+
+    name = "invariant"
+    description = ""
+
+    def __init__(self) -> None:
+        self._emit = None
+        #: SLA catalog injected by the owning observer (class floors).
+        self.classes = None
+
+    def bind(self, emit) -> None:
+        self._emit = emit
+
+    def violation(
+        self, detail, round_index=None, shard_id=None, stream_id=None
+    ) -> None:
+        self._emit(Violation(
+            invariant=self.name, detail=detail, round_index=round_index,
+            shard_id=shard_id, stream_id=stream_id,
+        ))
+
+    def finalize(self) -> None:
+        """End-of-run accounting (run by ``InvariantObserver.close``)."""
+
+
+class GrantConservation(Invariant):
+    """Grants are non-negative and sum exactly to the arbitrated pool.
+
+    The universal arbiter contract (every built-in satisfies it by
+    construction): on a busy round no capacity is invented and none is
+    silently dropped.  Tolerance is relative — pools are ~1e7 cycles.
+    """
+
+    name = "grant-conservation"
+    description = "busy-round grants are >= 0 and sum to the pool"
+    rel_tol = 1e-6
+
+    def on_round(self, round_index, allocations, capacity, shard_id=None):
+        if not allocations:
+            return
+        total = 0.0
+        for stream_id, grant in allocations.items():
+            total += grant
+            if grant < -self.rel_tol * capacity:
+                self.violation(
+                    f"negative grant {grant!r}",
+                    round_index=round_index, shard_id=shard_id,
+                    stream_id=stream_id,
+                )
+        if not math.isclose(total, capacity, rel_tol=self.rel_tol):
+            self.violation(
+                f"grants sum to {total!r}, pool is {capacity!r}",
+                round_index=round_index, shard_id=shard_id,
+            )
+
+
+class ClassFloors(Invariant):
+    """Renegotiated targets respect the stream's class floor and [0, 1].
+
+    Also rejects no-op steps (``new == old``): renegotiation events
+    must mean something, or density metrics lie.
+    """
+
+    name = "class-floors"
+    description = "renegotiated targets stay within [class floor, 1]"
+    abs_tol = 1e-9
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._floor_of: dict[str, float] = {}
+        self._catalog = None
+
+    def on_admit(self, spec, round_index, shard_id=None):
+        if spec.service_class is None:
+            return
+        if self._catalog is None:
+            self._catalog = resolve_classes(self.classes)
+        cls = self._catalog.get(spec.service_class)
+        # unknown classes are the runner's ConfigurationError, not ours
+        if cls is not None:
+            self._floor_of[spec.name] = cls.min_quality
+
+    def on_renegotiate(
+        self, stream_id, old_target, new_target, round_index, shard_id=None
+    ):
+        if new_target == old_target:
+            self.violation(
+                f"no-op renegotiation at target {new_target!r}",
+                round_index=round_index, shard_id=shard_id,
+                stream_id=stream_id,
+            )
+        if not 0.0 <= new_target <= 1.0:
+            self.violation(
+                f"target {new_target!r} outside [0, 1]",
+                round_index=round_index, shard_id=shard_id,
+                stream_id=stream_id,
+            )
+        floor = self._floor_of.get(stream_id)
+        if floor is not None and new_target < floor - self.abs_tol:
+            self.violation(
+                f"target {new_target!r} below class floor {floor!r}",
+                round_index=round_index, shard_id=shard_id,
+                stream_id=stream_id,
+            )
+
+
+class ExactlyOnceRejection(Invariant):
+    """Every stream is decided once; preemptions count as rejections.
+
+    The accounting law behind acceptance ratios: a stream is admitted
+    xor rejected (never both, never twice), departures pair 1:1 with
+    admissions, and every preemption is followed by exactly one
+    rejection of the same stream — the "counted once" guarantee the
+    SLA layer's totals rely on.
+    """
+
+    name = "exactly-once-rejection"
+    description = "admit/reject/preempt/depart accounting is exactly-once"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._admitted: set[str] = set()
+        self._rejected: set[str] = set()
+        self._departed: set[str] = set()
+        self._preempted: set[str] = set()
+
+    def on_admit(self, spec, round_index, shard_id=None):
+        if spec.name in self._admitted:
+            self.violation(
+                "admitted twice", round_index=round_index,
+                shard_id=shard_id, stream_id=spec.name,
+            )
+        if spec.name in self._rejected:
+            self.violation(
+                "admitted after rejection", round_index=round_index,
+                shard_id=shard_id, stream_id=spec.name,
+            )
+        self._admitted.add(spec.name)
+
+    def on_reject(self, spec, round_index, shard_id=None):
+        if spec.name in self._rejected:
+            self.violation(
+                "rejected twice", round_index=round_index,
+                shard_id=shard_id, stream_id=spec.name,
+            )
+        if spec.name in self._admitted:
+            self.violation(
+                "rejected after admission", round_index=round_index,
+                shard_id=shard_id, stream_id=spec.name,
+            )
+        self._rejected.add(spec.name)
+
+    def on_preempt(self, spec, round_index, shard_id=None):
+        if spec.name in self._admitted:
+            self.violation(
+                "preempted while active (only queued specs may be "
+                "preempted)", round_index=round_index,
+                shard_id=shard_id, stream_id=spec.name,
+            )
+        self._preempted.add(spec.name)
+
+    def on_depart(self, outcome, round_index, shard_id=None):
+        name = outcome.spec.name
+        if name in self._departed:
+            self.violation(
+                "departed twice", round_index=round_index,
+                shard_id=shard_id, stream_id=name,
+            )
+        if name not in self._admitted:
+            self.violation(
+                "departed without admission", round_index=round_index,
+                shard_id=shard_id, stream_id=name,
+            )
+        self._departed.add(name)
+
+    def finalize(self) -> None:
+        for name in sorted(self._preempted - self._rejected):
+            self.violation(
+                "preempted but never counted as rejected", stream_id=name
+            )
+        for name in sorted(self._admitted - self._departed):
+            self.violation(
+                "admitted but never departed (run ended with the "
+                "stream still active)", stream_id=name,
+            )
+
+
+class MigrationHeadroom(Invariant):
+    """Migrations keep their feasibility claims and residency honest.
+
+    Tracks each stream's resident pool and every pool's committed qmin
+    demand (mode ``"average"`` — a lower bound on what any admission
+    gate actually committed, so the check never false-positives).  A
+    capacity drop may legitimately leave a pool overcommitted, so the
+    fit check runs only when a *move* makes a fresh headroom claim.
+    """
+
+    name = "migration-headroom"
+    description = "post-move committed qmin demand fits the dest's capacity"
+    rel_tol = 1e-9
+    mode = "average"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._capacity: dict = {}
+        self._committed: dict = {}
+        self._resident: dict[str, tuple] = {}
+
+    def on_capacity(self, capacity, round_index, shard_id=None):
+        self._capacity[shard_id] = capacity
+
+    def on_admit(self, spec, round_index, shard_id=None):
+        self._resident[spec.name] = (shard_id, spec.config)
+        self._committed[shard_id] = (
+            self._committed.get(shard_id, 0.0)
+            + qmin_demand(spec.config, self.mode)
+        )
+
+    def on_depart(self, outcome, round_index, shard_id=None):
+        name = outcome.spec.name
+        resident = self._resident.pop(name, None)
+        if resident is None:
+            return  # exactly-once-rejection owns that complaint
+        home, config = resident
+        if home != shard_id:
+            self.violation(
+                f"departed from {shard_id!r} but resident on {home!r}",
+                round_index=round_index, shard_id=shard_id, stream_id=name,
+            )
+            home = shard_id
+        self._committed[home] = (
+            self._committed.get(home, 0.0) - qmin_demand(config, self.mode)
+        )
+
+    def on_migrate(self, move, round_index):
+        if move.source == move.dest:
+            self.violation(
+                "move with identical source and destination",
+                round_index=round_index, shard_id=move.source,
+                stream_id=move.stream_id,
+            )
+            return
+        if move.kind == "active":
+            resident = self._resident.get(move.stream_id)
+            if resident is None or resident[0] != move.source:
+                home = resident[0] if resident else None
+                self.violation(
+                    f"active move from {move.source!r} but the stream "
+                    f"is resident on {home!r}",
+                    round_index=round_index, shard_id=move.source,
+                    stream_id=move.stream_id,
+                )
+                return
+            _, config = resident
+            demand = qmin_demand(config, self.mode)
+            self._committed[move.source] = (
+                self._committed.get(move.source, 0.0) - demand
+            )
+            self._committed[move.dest] = (
+                self._committed.get(move.dest, 0.0) + demand
+            )
+            self._resident[move.stream_id] = (move.dest, config)
+        self._check_fit(move, round_index)
+
+    def _check_fit(self, move, round_index) -> None:
+        capacity = self._capacity.get(move.dest)
+        if capacity is None:
+            return  # no on_capacity seen (hand-wired run): nothing to claim
+        committed = self._committed.get(move.dest, 0.0)
+        if committed > capacity * (1.0 + self.rel_tol):
+            self.violation(
+                f"committed qmin demand {committed!r} exceeds "
+                f"destination capacity {capacity!r} after {move.kind} move",
+                round_index=round_index, shard_id=move.dest,
+                stream_id=move.stream_id,
+            )
+
+
+#: Named invariants, the ledger's registry (a standard policy family).
+INVARIANTS = PolicyRegistry("invariant")
+
+
+def register_invariant(name, factory=None, *, overwrite=False, **meta):
+    """Register an :class:`Invariant` factory under ``name``."""
+    return INVARIANTS.register(name, factory, overwrite=overwrite, **meta)
+
+
+register_invariant("grant-conservation", GrantConservation)
+register_invariant("class-floors", ClassFloors)
+register_invariant("exactly-once-rejection", ExactlyOnceRejection)
+register_invariant("migration-headroom", MigrationHeadroom)
+
+
+class InvariantObserver(RoundObserver):
+    """Runs a set of invariants live over a serving run.
+
+    Parameters
+    ----------
+    invariants:
+        Which laws to check: registered names, :class:`Invariant`
+        classes, or instances.  ``None`` runs every registered one.
+    enforce:
+        ``False`` (ledger mode) records every violation in
+        ``self.violations``; ``True`` (harness mode) raises
+        :class:`InvariantViolationError` at the first.
+    classes:
+        SLA catalog for floor checks; a spec's ``service_classes`` is
+        forwarded here automatically (the factory is registered
+        ``sla_aware``).
+    """
+
+    def __init__(self, invariants=None, enforce: bool = False, classes=None):
+        self.enforce = enforce
+        self.violations: list[Violation] = []
+        self.invariants: list[Invariant] = []
+        self._closed = False
+        names = INVARIANTS.names() if invariants is None else invariants
+        for entry in names:
+            if isinstance(entry, str):
+                invariant = INVARIANTS.create(entry)
+            elif isinstance(entry, Invariant):
+                invariant = entry
+            elif isinstance(entry, type) and issubclass(entry, Invariant):
+                invariant = entry()
+            else:
+                raise ConfigurationError(
+                    f"invariants must be registered names, Invariant "
+                    f"classes, or instances; got {entry!r}"
+                )
+            invariant.classes = classes
+            invariant.bind(self._record)
+            self.invariants.append(invariant)
+
+    def _record(self, violation: Violation) -> None:
+        self.violations.append(violation)
+        if self.enforce:
+            raise InvariantViolationError(violation)
+
+    # ------------------------------------------------------------------
+    # dispatch every hook to every invariant
+    # ------------------------------------------------------------------
+
+    def on_round(self, round_index, allocations, capacity, shard_id=None):
+        for invariant in self.invariants:
+            invariant.on_round(round_index, allocations, capacity, shard_id)
+
+    def on_admit(self, spec, round_index, shard_id=None):
+        for invariant in self.invariants:
+            invariant.on_admit(spec, round_index, shard_id)
+
+    def on_reject(self, spec, round_index, shard_id=None):
+        for invariant in self.invariants:
+            invariant.on_reject(spec, round_index, shard_id)
+
+    def on_preempt(self, spec, round_index, shard_id=None):
+        for invariant in self.invariants:
+            invariant.on_preempt(spec, round_index, shard_id)
+
+    def on_migrate(self, move, round_index):
+        for invariant in self.invariants:
+            invariant.on_migrate(move, round_index)
+
+    def on_renegotiate(
+        self, stream_id, old_target, new_target, round_index, shard_id=None
+    ):
+        for invariant in self.invariants:
+            invariant.on_renegotiate(
+                stream_id, old_target, new_target, round_index, shard_id
+            )
+
+    def on_depart(self, outcome, round_index, shard_id=None):
+        for invariant in self.invariants:
+            invariant.on_depart(outcome, round_index, shard_id)
+
+    def on_capacity(self, capacity, round_index, shard_id=None):
+        for invariant in self.invariants:
+            invariant.on_capacity(capacity, round_index, shard_id)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Run end-of-run accounting (:func:`repro.serve` calls this
+        once the run completes).
+
+        When enforcement already aborted the run, finalizers still
+        record their findings but never raise: ``close`` runs inside
+        ``serve``'s cleanup, and a second raise there would mask the
+        violation that stopped the run.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        enforce, self.enforce = self.enforce, self.enforce and not self.violations
+        try:
+            for invariant in self.invariants:
+                invariant.finalize()
+        finally:
+            self.enforce = enforce
+
+    def ledger(self) -> dict:
+        """Machine-readable ledger: every checked law and its record."""
+        by_name = {inv.name: 0 for inv in self.invariants}
+        for violation in self.violations:
+            by_name[violation.invariant] = (
+                by_name.get(violation.invariant, 0) + 1
+            )
+        return {
+            name: {
+                "description": next(
+                    (
+                        inv.description
+                        for inv in self.invariants
+                        if inv.name == name
+                    ),
+                    "",
+                ),
+                "violations": count,
+                "holds": count == 0,
+            }
+            for name, count in sorted(by_name.items())
+        }
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations

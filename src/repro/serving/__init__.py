@@ -34,12 +34,17 @@ Quick start::
     print(result.summary())
 """
 
-from repro.serving.observers import CountingObserver, RoundObserver
+from repro.serving.observers import (
+    CountingObserver,
+    RoundObserver,
+    phase_timing_enabled,
+)
 from repro.serving.registry import (
     ADMISSIONS,
     ARBITERS,
     BALANCERS,
     MIGRATIONS,
+    OBSERVERS,
     PLACEMENTS,
     RENEGOTIATIONS,
     SCENARIOS,
@@ -50,6 +55,7 @@ from repro.serving.registry import (
     register_arbiter,
     register_balancer,
     register_migration,
+    register_observer,
     register_placement,
     register_renegotiation,
     register_scenario,
@@ -59,6 +65,7 @@ from repro.serving.registry import (
 from repro.serving.result import ServingResult
 from repro.serving.runner import (
     ServingRunner,
+    build_observers,
     build_runner,
     build_scenario,
     serve,
@@ -72,6 +79,7 @@ __all__ = [
     "CONSTRAINT_MODES",
     "CountingObserver",
     "MIGRATIONS",
+    "OBSERVERS",
     "PLACEMENTS",
     "PolicyRegistry",
     "PolicySpec",
@@ -83,12 +91,15 @@ __all__ = [
     "ServingRunner",
     "ServingSpec",
     "TOPOLOGIES",
+    "build_observers",
     "build_runner",
     "build_scenario",
+    "phase_timing_enabled",
     "register_admission",
     "register_arbiter",
     "register_balancer",
     "register_migration",
+    "register_observer",
     "register_placement",
     "register_renegotiation",
     "register_scenario",

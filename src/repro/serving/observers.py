@@ -26,6 +26,18 @@ Hook conventions
   :class:`~repro.streams.fleet.StreamOutcome`.
 * ``on_migrate`` fires once per executed
   :class:`~repro.cluster.migration.MigrationMove` (cluster only).
+* ``on_preempt`` fires when priority admission evicts a queued spec,
+  immediately before that spec's final ``on_reject`` (the preempted
+  stream is still counted exactly once as rejected).
+* ``on_capacity`` declares a pool's nominal capacity: once per pool at
+  run start (round 0) and again whenever a capacity event resizes a
+  shard mid-run.
+* ``on_phase`` reports wall-clock phase timings (``"admission"`` /
+  ``"arbitration"`` / ``"step"`` per pool; ``"placement"`` /
+  ``"migration"`` / ``"balancing"`` cluster-wide).  The runners only
+  read the clock when an attached observer actually *overrides*
+  ``on_phase`` (see :func:`phase_timing_enabled`), so bare runs pay
+  nothing for the hook's existence.
 """
 
 from __future__ import annotations
@@ -54,6 +66,13 @@ class RoundObserver:
     def on_reject(self, spec, round_index, shard_id=None):
         """``spec`` was finally rejected (at arrival or queue flush)."""
 
+    def on_preempt(self, spec, round_index, shard_id=None):
+        """A queued ``spec`` was evicted by a higher-priority arrival.
+
+        Always followed by the same spec's ``on_reject`` in the same
+        round — preemption explains *why* that rejection happened.
+        """
+
     def on_migrate(self, move, round_index):
         """One queued or active migration move was executed."""
 
@@ -66,6 +85,32 @@ class RoundObserver:
 
     def on_depart(self, outcome, round_index, shard_id=None):
         """A stream finished; ``outcome`` carries its full run result."""
+
+    def on_capacity(self, capacity, round_index, shard_id=None):
+        """A pool's nominal capacity was declared (run start) or
+        changed (mid-run capacity event)."""
+
+    def on_phase(self, phase, seconds, round_index, shard_id=None):
+        """One timed phase of one round took ``seconds`` of wall clock.
+
+        Only fired when at least one attached observer overrides this
+        hook — the timings are real (non-deterministic) wall-clock
+        measurements, never part of a run's results.
+        """
+
+
+def phase_timing_enabled(observers) -> bool:
+    """Does any observer actually override ``on_phase``?
+
+    The runners gate every ``perf_counter`` read on this, so attaching
+    counting/event observers (which ignore phases) keeps the loop free
+    of clock syscalls and runs stay bit-identical in cost profile.
+    """
+    base = RoundObserver.on_phase
+    return any(
+        getattr(type(observer), "on_phase", base) is not base
+        for observer in observers
+    )
 
 
 class CountingObserver(RoundObserver):
@@ -81,9 +126,11 @@ class CountingObserver(RoundObserver):
         self.rounds = 0
         self.admitted = 0
         self.rejected = 0
+        self.preempted = 0
         self.migrated = 0
         self.renegotiated = 0
         self.departed = 0
+        self.capacity_events = 0
 
     def on_round(self, round_index, allocations, capacity, shard_id=None):
         self.rounds += 1
@@ -93,6 +140,9 @@ class CountingObserver(RoundObserver):
 
     def on_reject(self, spec, round_index, shard_id=None):
         self.rejected += 1
+
+    def on_preempt(self, spec, round_index, shard_id=None):
+        self.preempted += 1
 
     def on_migrate(self, move, round_index):
         self.migrated += 1
@@ -105,12 +155,17 @@ class CountingObserver(RoundObserver):
     def on_depart(self, outcome, round_index, shard_id=None):
         self.departed += 1
 
+    def on_capacity(self, capacity, round_index, shard_id=None):
+        self.capacity_events += 1
+
     def counts(self) -> dict:
         return {
             "rounds": self.rounds,
             "admitted": self.admitted,
             "rejected": self.rejected,
+            "preempted": self.preempted,
             "migrated": self.migrated,
             "renegotiated": self.renegotiated,
             "departed": self.departed,
+            "capacity_events": self.capacity_events,
         }

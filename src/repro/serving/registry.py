@@ -50,6 +50,7 @@ from repro.cluster.scenarios import (
     skewed_cluster,
 )
 from repro.errors import ConfigurationError
+from repro.serving.observers import CountingObserver
 from repro.sla.admission import PriorityAdmissionController
 from repro.sla.arbiter import SlaQualityFairArbiter, SlaWeightedArbiter
 from repro.sla.classes import STANDARD_CLASSES, ServiceClass
@@ -154,6 +155,7 @@ BALANCERS = PolicyRegistry("balancer")
 SCENARIOS = PolicyRegistry("scenario")
 SLA_CLASSES = PolicyRegistry("service class")
 RENEGOTIATIONS = PolicyRegistry("renegotiation")
+OBSERVERS = PolicyRegistry("observer")
 
 #: Topologies a scenario generator may declare (and a spec may request).
 TOPOLOGIES = ("fleet", "cluster")
@@ -226,6 +228,19 @@ def register_renegotiation(name, factory=None, *, overwrite=False):
     return RENEGOTIATIONS.register(name, factory, overwrite=overwrite)
 
 
+def register_observer(name, factory=None, *, overwrite=False, **meta):
+    """Register a :class:`~repro.serving.observers.RoundObserver` factory.
+
+    Named observers let a :class:`~repro.serving.spec.ServingSpec`
+    declare its telemetry (``"observers": [{"name": "telemetry", ...}]``)
+    the same way it declares policies; :func:`repro.serve` builds them,
+    threads them through the run, and calls each one's ``close()`` when
+    the run ends.  ``sla_aware=True`` metadata works as in
+    :func:`register_arbiter`.
+    """
+    return OBSERVERS.register(name, factory, overwrite=overwrite, **meta)
+
+
 def register_scenario(name, factory=None, *, topology="fleet", overwrite=False):
     """Register a scenario generator, tagged with its topology.
 
@@ -284,6 +299,40 @@ register_migration("sla-aware", SlaMigration, sla_aware=True)
 register_balancer("headroom", HeadroomBalancer)
 
 register_renegotiation("step", StepRenegotiation)
+
+
+# observer factories import repro.obs lazily: obs modules import this
+# registry at module level (they *are* policy families), so eager
+# imports here would be circular
+def _telemetry_observer(**kwargs):
+    from repro.obs.metrics import TelemetryObserver
+
+    return TelemetryObserver(**kwargs)
+
+
+def _event_log_observer(**kwargs):
+    from repro.obs.events import StructuredEventLog
+
+    return StructuredEventLog(**kwargs)
+
+
+def _invariant_observer(**kwargs):
+    from repro.obs.invariants import InvariantObserver
+
+    return InvariantObserver(**kwargs)
+
+
+def _perf_observer(**kwargs):
+    from repro.obs.profiling import PerfObserver
+
+    return PerfObserver(**kwargs)
+
+
+register_observer("telemetry", _telemetry_observer)
+register_observer("events", _event_log_observer)
+register_observer("invariants", _invariant_observer, sla_aware=True)
+register_observer("perf", _perf_observer)
+register_observer("counting", CountingObserver)
 
 for _service_class in STANDARD_CLASSES:
     register_service_class(_service_class)

@@ -30,12 +30,16 @@ class ServingResult:
     ``spec`` is the :class:`~repro.serving.spec.ServingSpec` that
     produced the run (``None`` when wrapping a hand-constructed
     result); ``runner`` is the runner instance that executed it, kept
-    for post-run observability (e.g. ``runner.admission.queued_count``).
+    for post-run observability (e.g. ``runner.admission.queued_count``);
+    ``observers`` is every observer attached to the run — caller-passed
+    first, then the spec-declared ones — already ``close()``-d, so
+    telemetry windows, event logs, and invariant ledgers are readable.
     """
 
     raw: FleetResult | ClusterResult
     spec: object | None = None
     runner: object | None = None
+    observers: tuple = ()
 
     @property
     def topology(self) -> str:

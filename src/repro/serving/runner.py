@@ -27,6 +27,7 @@ from repro.serving.registry import (
     ARBITERS,
     BALANCERS,
     MIGRATIONS,
+    OBSERVERS,
     PLACEMENTS,
     RENEGOTIATIONS,
     SCENARIOS,
@@ -176,16 +177,45 @@ def build_runner(
     )
 
 
+def build_observers(spec: ServingSpec) -> tuple:
+    """Instantiate the spec's declared observers from the registry."""
+    return tuple(
+        _create(OBSERVERS, policy, "observers",
+                classes=spec.service_classes)
+        for policy in spec.observers
+    )
+
+
+def _close_observers(observers) -> None:
+    """End-of-run lifecycle: flush/finalize observers that support it."""
+    for observer in observers:
+        close = getattr(observer, "close", None)
+        if callable(close):
+            close()
+
+
 def serve(spec, observers: Sequence = ()) -> ServingResult:
     """Run one declarative serving spec end to end.
 
     ``spec`` may be a :class:`ServingSpec`, its ``to_dict`` mapping
     form, or a JSON string; ``observers`` are
     :class:`~repro.serving.observers.RoundObserver` instances threaded
-    through the run's lifecycle hooks.  Returns a
-    :class:`~repro.serving.result.ServingResult`.
+    through the run's lifecycle hooks, in addition to any the spec
+    itself declares (``spec.observers``, built from the ``OBSERVERS``
+    registry).  When the run ends — normally or by raising — every
+    attached observer that defines ``close()`` has it called (flushing
+    partial telemetry windows, event-log file handles, and invariant
+    finalizers); the full tuple is returned on
+    :attr:`ServingResult.observers`.
     """
     spec = _coerce_spec(spec)
     scenario = build_scenario(spec)
-    runner = build_runner(spec, scenario=scenario, observers=observers)
-    return ServingResult(raw=runner.run(scenario), spec=spec, runner=runner)
+    all_observers = tuple(observers) + build_observers(spec)
+    runner = build_runner(spec, scenario=scenario, observers=all_observers)
+    try:
+        raw = runner.run(scenario)
+    finally:
+        _close_observers(all_observers)
+    return ServingResult(
+        raw=raw, spec=spec, runner=runner, observers=all_observers
+    )

@@ -33,6 +33,9 @@ Field reference
                    ``ServiceClass`` instances; forwarded to every
                    SLA-aware policy and to the runners' sessions
 ``renegotiation``  mid-stream quality-target policy (``RENEGOTIATIONS``)
+``observers``      telemetry attached by name (``OBSERVERS``): windowed
+                   metrics, event logs, invariant checks, phase timing;
+                   built observers are closed when the run ends
 =================  ====================================================
 
 Policy fields accept a bare name string as shorthand for
@@ -51,6 +54,7 @@ from repro.serving.registry import (
     ARBITERS,
     BALANCERS,
     MIGRATIONS,
+    OBSERVERS,
     PLACEMENTS,
     RENEGOTIATIONS,
     SCENARIOS,
@@ -149,6 +153,7 @@ class ServingSpec:
     max_rounds: int = 100_000
     service_classes: tuple[ServiceClass, ...] | None = None
     renegotiation: PolicySpec | None = None
+    observers: tuple[PolicySpec, ...] = ()
 
     # ------------------------------------------------------------------
     # eager validation — every error names its field
@@ -165,6 +170,7 @@ class ServingSpec:
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, PolicySpec.coerce(value, name))
+        self._validate_observers()
         self._validate_service_classes()
 
         if self.topology not in TOPOLOGIES:
@@ -229,6 +235,22 @@ class ServingSpec:
             raise ConfigurationError(
                 f"max_rounds: must be an integer >= 1, got {self.max_rounds!r}"
             )
+
+    def _validate_observers(self) -> None:
+        if isinstance(self.observers, (str, Mapping)) or not hasattr(
+            self.observers, "__iter__"
+        ):
+            raise ConfigurationError(
+                "observers: expected a list of observer policies "
+                f"(name or {{'name': ..., 'kwargs': ...}}), got "
+                f"{type(self.observers).__name__}"
+            )
+        coerced = tuple(
+            PolicySpec.coerce(entry, "observers") for entry in self.observers
+        )
+        for policy in coerced:
+            _check_policy(policy, OBSERVERS, "observers", self.topology, None)
+        object.__setattr__(self, "observers", coerced)
 
     def _validate_service_classes(self) -> None:
         if self.service_classes is None:
@@ -337,6 +359,7 @@ class ServingSpec:
                 else [c.to_dict() for c in self.service_classes]
             ),
             "renegotiation": policy(self.renegotiation),
+            "observers": [p.to_dict() for p in self.observers],
         }
 
     @classmethod

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -375,6 +376,15 @@ class FleetRunner:
             capacity=self.capacity,
             rounds=0,
         )
+        timed = False
+        if self.observers:
+            # imported lazily — the streams layer never depends on
+            # repro.serving at import time
+            from repro.serving.observers import phase_timing_enabled
+
+            timed = phase_timing_enabled(self.observers)
+            for observer in self.observers:
+                observer.on_capacity(self.capacity, 0)
         active: list[StreamSession] = []
         spec_of: dict[str, StreamSpec] = {}
         admitted_round: dict[str, int] = {}
@@ -389,6 +399,7 @@ class FleetRunner:
                     f"fleet exceeded max_rounds={self.max_rounds}"
                 )
             # 1. arrivals through admission
+            t0 = perf_counter() if timed else 0.0
             for spec in scenario.arrivals_at(round_index):
                 if self.admission is None:
                     self._admit(spec, round_index, active, spec_of, admitted_round)
@@ -401,6 +412,7 @@ class FleetRunner:
                     result.rejected.append(victim)
                     result.preempted.append(victim)
                     for observer in self.observers:
+                        observer.on_preempt(victim, round_index)
                         observer.on_reject(victim, round_index)
                 if verdict.decision is AdmissionDecision.ACCEPTED:
                     self._admit(spec, round_index, active, spec_of, admitted_round)
@@ -413,6 +425,11 @@ class FleetRunner:
             if self.admission is not None:
                 for spec in self.admission.admit_queued():
                     self._admit(spec, round_index, active, spec_of, admitted_round)
+            if timed:
+                now = perf_counter()
+                for observer in self.observers:
+                    observer.on_phase("admission", now - t0, round_index)
+                t0 = now
             # 3 + 4. arbitrate and step
             allocations: dict[str, float] = {}
             if active:
@@ -430,6 +447,11 @@ class FleetRunner:
                     for s in active
                 ]
                 allocations = self.arbiter.allocate(requests, self.capacity)
+            if timed:
+                now = perf_counter()
+                for observer in self.observers:
+                    observer.on_phase("arbitration", now - t0, round_index)
+                t0 = now
             for observer in self.observers:
                 observer.on_round(round_index, allocations, self.capacity)
             if active:
@@ -461,6 +483,10 @@ class FleetRunner:
                     else:
                         still_active.append(session)
                 active = still_active
+            if timed:
+                now = perf_counter()
+                for observer in self.observers:
+                    observer.on_phase("step", now - t0, round_index)
             round_index += 1
         result.rounds = round_index
         return result

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "cluster_serving.py",
     "serving_spec.py",
     "sla_serving.py",
+    "telemetry.py",
 ]
 HEAVY_EXAMPLES = ["video_encoder.py", "soft_deadlines.py"]
 

@@ -1,0 +1,136 @@
+"""``python -m repro serve``: the observability CLI end to end."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import parse_events
+from repro.serving import register_arbiter
+from repro.streams.arbiter import CapacityArbiter
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SPEC = {
+    "scenario": {"name": "gold-rush",
+                 "kwargs": {"bronze": 4, "gold": 2, "crowd_round": 2,
+                            "frames": 6, "scale": 27}},
+    "capacity": {"utilization": 1 / 1.5},
+    "arbiter": "sla-quality-fair",
+    "admission": "priority",
+    "renegotiation": {"name": "step", "kwargs": {"patience": 1, "step": 0.3}},
+    "service_classes": ["gold", "silver", "bronze"],
+}
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return path
+
+
+class TestServe:
+    def test_happy_path_exit_zero(self, spec_file, capsys):
+        assert main(["serve", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: gold-rush" in out
+        assert "invariant ledger" in out
+
+    def test_stdin_spec(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(json.dumps(SPEC)))
+        assert main(["serve", "-"]) == 0
+        assert "gold-rush" in capsys.readouterr().out
+
+    def test_events_file_written_and_parseable(self, spec_file, tmp_path,
+                                               capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["serve", str(spec_file),
+                     "--events", str(events)]) == 0
+        parsed = parse_events(events.read_text())
+        assert len(parsed) > 20
+        assert f"wrote {len(parsed)} events" in capsys.readouterr().out
+
+    def test_full_observability_flags(self, spec_file, capsys):
+        assert main(["serve", str(spec_file), "--metrics-window", "4",
+                     "--perf", "--timeline", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry windows (4 rounds each)" in out
+        assert "controller phase timing" in out
+        assert "timeline (last 5 events)" in out
+
+    def test_missing_spec_exits_two(self, capsys):
+        assert main(["serve", "no-such-spec.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_invalid_json_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["serve", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bad_spec_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"scenario": "no-such-scenario"}))
+        assert main(["serve", str(path)]) == 2
+
+
+class _OverAllocating(CapacityArbiter):
+    name = "cli-over-allocating"
+
+    def allocate(self, requests, capacity):
+        return {r.stream_id: capacity for r in requests}
+
+
+class TestViolationExits:
+    @pytest.fixture
+    def broken_spec(self, tmp_path):
+        register_arbiter("cli-over-allocating", _OverAllocating,
+                         overwrite=True)
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(dict(SPEC) | {
+            "arbiter": "cli-over-allocating", "admission": "feasibility",
+            "renegotiation": None, "service_classes": None,
+        }))
+        yield path
+        from repro.serving import ARBITERS
+
+        ARBITERS.unregister("cli-over-allocating")
+
+    def test_recorded_violations_exit_one(self, broken_spec, capsys):
+        assert main(["serve", str(broken_spec)]) == 1
+        captured = capsys.readouterr()
+        assert "VIOLATED" in captured.out
+        assert "grant-conservation" in captured.err
+
+    def test_enforcement_aborts_exit_one(self, broken_spec, capsys):
+        assert main(["serve", str(broken_spec),
+                     "--invariants", "enforce"]) == 1
+        assert "grant-conservation" in capsys.readouterr().err
+
+    def test_invariants_off_ignores_breakage(self, broken_spec):
+        assert main(["serve", str(broken_spec),
+                     "--invariants", "off"]) == 0
+
+
+def test_module_entry_point(spec_file, tmp_path):
+    """One true subprocess run: ``python -m repro`` works from a shell."""
+    events = tmp_path / "events.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", str(spec_file),
+         "--events", str(events), "--metrics-window", "6"],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "telemetry windows" in proc.stdout
+    assert events.exists() and parse_events(events.read_text())

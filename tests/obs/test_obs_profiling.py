@@ -1,0 +1,79 @@
+"""Controller-phase profiling: timing on demand, free when absent."""
+
+from __future__ import annotations
+
+from repro.obs import PerfObserver, TelemetryObserver
+from repro.serving import phase_timing_enabled, serve
+from repro.serving.observers import CountingObserver
+
+FLEET_SPEC = {
+    "scenario": {"name": "gold-rush",
+                 "kwargs": {"bronze": 4, "gold": 2, "crowd_round": 2,
+                            "frames": 6, "scale": 27}},
+    "capacity": {"utilization": 1 / 1.5},
+    "arbiter": "sla-quality-fair",
+    "admission": "priority",
+    "renegotiation": {"name": "step", "kwargs": {"patience": 1, "step": 0.3}},
+    "service_classes": ["gold", "silver", "bronze"],
+}
+
+CLUSTER_SPEC = {
+    "topology": "cluster",
+    "scenario": {"name": "skewed-cluster",
+                 "kwargs": {"streams": 6, "frames": 4}},
+    "placement": "best-fit",
+    "migration": "load-balance",
+}
+
+
+class TestPhaseCapture:
+    def test_fleet_phases_timed(self):
+        perf = PerfObserver()
+        serve(FLEET_SPEC, observers=[perf])
+        assert {"admission", "arbitration", "step"} <= set(perf.calls)
+        assert perf.total_seconds > 0
+        assert all(n > 0 for n in perf.calls.values())
+        assert all(s >= 0 for s in perf.seconds.values())
+
+    def test_cluster_phases_timed(self):
+        perf = PerfObserver()
+        serve(CLUSTER_SPEC, observers=[perf])
+        # cluster-level phases plus the per-shard inner loop
+        assert {"placement", "migration", "arbitration",
+                "step"} <= set(perf.calls)
+
+    def test_breakdown_shares_sum_to_one(self):
+        perf = PerfObserver()
+        serve(FLEET_SPEC, observers=[perf])
+        breakdown = perf.breakdown()
+        shares = [stats["share"] for stats in breakdown.values()]
+        assert abs(sum(shares) - 1.0) < 1e-9
+        assert shares == sorted(shares, reverse=True)
+        for phase, stats in breakdown.items():
+            assert stats["max_seconds"] >= stats["mean_seconds"] - 1e-12
+
+    def test_report_renders_every_phase(self):
+        perf = PerfObserver()
+        serve(FLEET_SPEC, observers=[perf])
+        report = perf.report()
+        assert "phase" in report and "share" in report
+        for phase in perf.calls:
+            assert phase in report
+
+    def test_empty_observer_is_harmless(self):
+        perf = PerfObserver()
+        assert perf.total_seconds == 0.0
+        assert perf.breakdown() == {}
+
+
+class TestTimingGate:
+    def test_bare_and_counting_runs_skip_timing(self):
+        """Only an ``on_phase`` override switches the timers on: bare
+        runs and passive observers never pay for a perf_counter read."""
+        assert not phase_timing_enabled(())
+        assert not phase_timing_enabled((CountingObserver(),))
+        assert not phase_timing_enabled((TelemetryObserver(),))
+
+    def test_perf_observer_enables_timing(self):
+        assert phase_timing_enabled((PerfObserver(),))
+        assert phase_timing_enabled((CountingObserver(), PerfObserver()))
