@@ -38,6 +38,7 @@ from repro.cluster.migration import MigrationMove, MigrationPolicy
 from repro.cluster.placement import PlacementPolicy
 from repro.cluster.scenarios import ClusterScenario
 from repro.cluster.shard import Shard
+from repro.engine import validate_engine
 from repro.errors import ConfigurationError
 from repro.streams.admission import AdmissionController
 from repro.streams.arbiter import CapacityArbiter, make_arbiter
@@ -237,6 +238,7 @@ def build_shards(
     admission_factory=None,
     service_classes=None,
     renegotiation=None,
+    engine: str = "scalar",
 ) -> list[Shard]:
     """Convenience: one shard per capacity, fresh arbiter + admission each.
 
@@ -270,6 +272,7 @@ def build_shards(
                 granularity=granularity,
                 service_classes=service_classes,
                 renegotiation=renegotiation,
+                engine=engine,
             )
         )
     return shards
@@ -294,6 +297,17 @@ class ClusterRunner:
         ``on_reject`` / ``on_depart``, with the shard's id) and per
         executed migration move (``on_migrate``).  Observers are never
         read back, so they cannot change results.
+    engine:
+        Session execution engine (see :mod:`repro.engine`):
+        ``"scalar"`` steps shards (and their sessions) sequentially one
+        by one; ``"vectorized"`` batches each shard's sessions through
+        the numpy kernel; ``"parallel"`` additionally steps independent
+        shards concurrently on a worker pool that synchronizes only at
+        the :class:`HeadroomBalancer` barrier, with observer events
+        buffered per shard and replayed in scalar order.  The knob is
+        pushed onto every shard at the start of each run (like
+        ``observers``), so it also applies to caller-provided shards.
+        All engines are bit-identical.
     shard_kwargs:
         Passed to :func:`build_shards` (arbiter, admission, ...).
     """
@@ -305,6 +319,7 @@ class ClusterRunner:
         balancer: HeadroomBalancer | None = None,
         max_rounds: int = 100_000,
         observers=(),
+        engine: str = "scalar",
         **shard_kwargs,
     ) -> None:
         if max_rounds < 1:
@@ -314,6 +329,7 @@ class ClusterRunner:
         self.balancer = balancer
         self.max_rounds = max_rounds
         self.observers = tuple(observers)
+        self.engine = validate_engine(engine)
         self.shard_kwargs = shard_kwargs
 
     def reset(self) -> None:
@@ -353,6 +369,7 @@ class ClusterRunner:
             )
         for shard in shards:
             shard.observers = self.observers
+            shard.engine = self.engine
         timed = False
         if self.observers:
             # imported lazily — the cluster layer never depends on
@@ -383,6 +400,40 @@ class ClusterRunner:
         by_id = {s.shard_id: s for s in shards}
         arrivals = scenario.arrivals
         horizon = max(arrivals.last_arrival_round, scenario.last_event_round)
+        executor = None
+        if self.engine == "parallel" and len(shards) > 1:
+            # one worker pool per run; shards share no mutable state,
+            # so each round's shard steps are independent between the
+            # balancer barrier and the next round's placement phase
+            import os
+            from concurrent.futures import ThreadPoolExecutor
+
+            executor = ThreadPoolExecutor(
+                max_workers=min(len(shards), os.cpu_count() or 2),
+                thread_name_prefix="shard-step",
+            )
+        try:
+            round_index = self._serve_rounds(
+                scenario, shards, by_id, arrivals, horizon, timed, result,
+                executor,
+            )
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        result.rounds = round_index
+        result.shard_results = [
+            s.result(scenario.name, round_index) for s in shards
+        ]
+        result.shard_demand_cycles = [s.demand_cycles for s in shards]
+        if self.balancer is not None:
+            result.lent_cycles = self.balancer.lent_cycles
+        return result
+
+    def _serve_rounds(
+        self, scenario, shards, by_id, arrivals, horizon, timed, result,
+        executor,
+    ) -> int:
+        """The round loop of :meth:`run`; returns the rounds served."""
         round_index = 0
         while round_index <= horizon or any(s.busy for s in shards):
             if round_index >= self.max_rounds:
@@ -445,20 +496,29 @@ class ClusterRunner:
                 now = perf_counter()
                 for observer in self.observers:
                     observer.on_phase("balancing", now - t0, round_index)
-            for shard in shards:
-                shard.step(
+            if executor is not None:
+                from repro.engine.parallel import step_shards
+
+                step_shards(
+                    executor,
+                    shards,
                     round_index,
-                    None if effective is None else effective[shard.shard_id],
+                    lambda shard: (
+                        None if effective is None
+                        else effective[shard.shard_id]
+                    ),
+                    self.observers,
                 )
+            else:
+                for shard in shards:
+                    shard.step(
+                        round_index,
+                        None
+                        if effective is None
+                        else effective[shard.shard_id],
+                    )
             round_index += 1
-        result.rounds = round_index
-        result.shard_results = [
-            s.result(scenario.name, round_index) for s in shards
-        ]
-        result.shard_demand_cycles = [s.demand_cycles for s in shards]
-        if self.balancer is not None:
-            result.lent_cycles = self.balancer.lent_cycles
-        return result
+        return round_index
 
     def _execute(
         self,

@@ -68,6 +68,13 @@ class Shard:
         SLA catalog and mid-stream renegotiation policy, as on
         :class:`~repro.streams.fleet.FleetRunner` (sessions of classed
         specs get their class's quality band).
+    engine:
+        Session execution engine (see :mod:`repro.engine`):
+        ``"scalar"`` steps sessions one by one, ``"vectorized"`` steps
+        the shard's active sessions as numpy batches.  ``"parallel"``
+        behaves as ``"vectorized"`` at shard level — the across-shard
+        worker pool lives in the cluster runner, which also overwrites
+        this knob (like ``observers``) at the start of every run.
     """
 
     def __init__(
@@ -81,6 +88,7 @@ class Shard:
         observers=(),
         service_classes=None,
         renegotiation=None,
+        engine: str = "scalar",
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError("shard capacity must be positive")
@@ -94,6 +102,7 @@ class Shard:
         self.granularity = granularity
         self.service_classes = _normalize_classes(service_classes)
         self.renegotiation = renegotiation
+        self.engine = engine
 
         self.active: list[StreamSession] = []
         self.spec_of: dict[str, StreamSpec] = {}
@@ -124,6 +133,16 @@ class Shard:
             self._timed = phase_timing_enabled(self._observers)
         else:
             self._timed = False
+
+    @property
+    def engine(self) -> str:
+        return self._engine
+
+    @engine.setter
+    def engine(self, value: str) -> None:
+        from repro.engine import validate_engine
+
+        self._engine = validate_engine(value)
 
     # ------------------------------------------------------------------
     # placement-facing signals
@@ -373,10 +392,24 @@ class Shard:
             observer.on_round(
                 round_index, allocations, pool, shard_id=self.shard_id
             )
+        if self._engine == "scalar":
+            step_of = None
+        else:
+            # batched stepping computes every SessionStep up front; the
+            # loop below still applies bookkeeping and fires hooks in
+            # session order, so results and event logs match the
+            # scalar engine bit for bit
+            from repro.engine.vectorized import step_sessions
+
+            step_of = step_sessions(self.active, allocations)
         finished = 0
         still_active: list[StreamSession] = []
         for session in self.active:
-            step = session.step(allocations[session.stream_id])
+            step = (
+                session.step(allocations[session.stream_id])
+                if step_of is None
+                else step_of[session.stream_id]
+            )
             if step.renegotiated is not None:
                 old, new = step.renegotiated
                 for observer in self.observers:

@@ -1,0 +1,120 @@
+"""The parallel engine: step independent shards concurrently.
+
+Within a round, shards share nothing — each owns its sessions,
+admission ledger and arbiter, and the only cross-shard coupling is the
+:class:`~repro.cluster.runner.HeadroomBalancer`, which the cluster
+runner evaluates *before* stepping.  That makes the per-round shard
+loop embarrassingly parallel: :func:`step_shards` submits every
+``shard.step`` to a worker pool and joins them, so the balancer
+computation is the round's only synchronization barrier, exactly as in
+the scalar schedule.
+
+Within each shard the sessions still step through the vectorized batch
+engine (:mod:`repro.engine.vectorized`); the worker pool only adds the
+across-shard dimension.
+
+Observer preservation: observers are not required to be thread-safe,
+and the scalar engine delivers shard events in shard order.  So while
+a shard steps on a worker, its hooks land in a private
+:class:`_EventBuffer`; after the join, buffers replay to the real
+observers from the main thread, shard by shard — same events, same
+order, same thread as scalar.  Phase timing survives batch mode the
+same way: when any real observer implements ``on_phase``, shards get a
+:class:`_TimedEventBuffer` (which *does* override ``on_phase``), so
+``phase_timing_enabled`` inside the shard keeps measuring; otherwise
+the plain buffer leaves timing disabled, exactly like scalar.
+
+The pool is a ``concurrent.futures.ThreadPoolExecutor``: shard state is
+plain Python objects (cheap to share, expensive to pickle), and the
+batched numpy kernels release the GIL inside array ops.  Pure-Python
+portions still serialize under the GIL, so the across-shard win is
+bounded; the within-shard vectorization is where most of the engine's
+speedup comes from (see ``BENCH_engine.json``).
+"""
+
+from __future__ import annotations
+
+from functools import partialmethod
+
+#: Hooks a shard can fire while stepping (or holding) a buffer.
+_HOOKS = (
+    "on_round",
+    "on_admit",
+    "on_reject",
+    "on_preempt",
+    "on_migrate",
+    "on_renegotiate",
+    "on_depart",
+    "on_capacity",
+)
+
+
+class _EventBuffer:
+    """Records observer hook calls for later main-thread replay.
+
+    Deliberately does **not** define ``on_phase``:
+    ``phase_timing_enabled`` would otherwise see a phase listener and
+    make every shard pay for ``perf_counter`` calls nobody reads.
+    """
+
+    def __init__(self) -> None:
+        self.calls: list[tuple[str, tuple, dict]] = []
+
+    def _record(self, _hook: str, *args, **kwargs) -> None:
+        self.calls.append((_hook, args, kwargs))
+
+    def replay(self, observers) -> None:
+        """Deliver the buffered calls to the real observers, in order."""
+        for hook, args, kwargs in self.calls:
+            for observer in observers:
+                getattr(observer, hook)(*args, **kwargs)
+        self.calls.clear()
+
+
+for _hook in _HOOKS:
+    setattr(_EventBuffer, _hook, partialmethod(_EventBuffer._record, _hook))
+del _hook
+
+
+class _TimedEventBuffer(_EventBuffer):
+    """Buffer variant that keeps the shard's phase timing alive."""
+
+    def on_phase(self, *args, **kwargs) -> None:
+        self._record("on_phase", *args, **kwargs)
+
+
+def step_shards(executor, shards, round_index, capacity_of, observers) -> None:
+    """Step every shard concurrently; replay events in shard order.
+
+    ``capacity_of`` maps shard id to this round's effective capacity
+    override (``None`` = the shard's own pool), i.e. the balancer's
+    output — computed before this call, making it the only barrier.
+    """
+    from repro.serving.observers import phase_timing_enabled  # circular-safe
+
+    buffer_type = (
+        _TimedEventBuffer if phase_timing_enabled(observers) else _EventBuffer
+    )
+    buffers = [buffer_type() for _ in shards]
+    for shard, buffer in zip(shards, buffers):
+        shard.observers = (buffer,)
+    try:
+        futures = [
+            executor.submit(shard.step, round_index, capacity_of(shard))
+            for shard in shards
+        ]
+        # join every future even if one failed, so no worker is left
+        # touching a shard we are about to rewire
+        errors = []
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as error:  # re-raised below
+                errors.append(error)
+    finally:
+        for shard in shards:
+            shard.observers = observers
+    if errors:
+        raise errors[0]
+    for buffer in buffers:
+        buffer.replay(observers)

@@ -149,6 +149,7 @@ def build_runner(
             observers=observers,
             service_classes=classes,
             renegotiation=renegotiation,
+            engine=spec.engine,
         )
     if spec.admission is None:
         admission_factory = None
@@ -174,6 +175,7 @@ def build_runner(
         granularity=spec.granularity,
         service_classes=classes,
         renegotiation=renegotiation,
+        engine=spec.engine,
     )
 
 

@@ -28,6 +28,10 @@ Field reference
 ``migration``      cluster only, optional: between-round rebalancing
 ``balancer``       cluster only, optional: cross-shard headroom lending
 ``constraint_mode``/``granularity``  per-session controller settings
+``engine``         session execution engine: ``"scalar"`` (reference),
+                   ``"vectorized"`` (numpy batch stepping), or
+                   ``"parallel"`` (vectorized + concurrent shard
+                   stepping); all engines are bit-identical
 ``max_rounds``     runaway-scenario safety valve
 ``service_classes``  SLA catalog: class dicts, registered names, or
                    ``ServiceClass`` instances; forwarded to every
@@ -48,6 +52,7 @@ import json
 from collections.abc import Mapping
 from dataclasses import dataclass, field, fields
 
+from repro.engine import ENGINES
 from repro.errors import ConfigurationError
 from repro.serving.registry import (
     ADMISSIONS,
@@ -150,6 +155,7 @@ class ServingSpec:
     balancer: PolicySpec | None = None
     constraint_mode: str = "both"
     granularity: int = 1
+    engine: str = "scalar"
     max_rounds: int = 100_000
     service_classes: tuple[ServiceClass, ...] | None = None
     renegotiation: PolicySpec | None = None
@@ -226,6 +232,10 @@ class ServingSpec:
         ):
             raise ConfigurationError(
                 f"granularity: must be an integer >= 1, got {self.granularity!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine: must be one of {ENGINES}, got {self.engine!r}"
             )
         if (
             isinstance(self.max_rounds, bool)
@@ -352,6 +362,7 @@ class ServingSpec:
             "balancer": policy(self.balancer),
             "constraint_mode": self.constraint_mode,
             "granularity": self.granularity,
+            "engine": self.engine,
             "max_rounds": self.max_rounds,
             "service_classes": (
                 None

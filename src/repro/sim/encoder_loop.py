@@ -195,7 +195,15 @@ class SimulationConfig:
 
 @dataclass(frozen=True)
 class FrameTiming:
-    """Timing-pass output for one encoded frame."""
+    """Timing-pass output for one encoded frame.
+
+    The quality-statistic fields are only filled by the engine kernels
+    (:mod:`repro.engine.kernel`), which compute them where the decision
+    history is already at hand — scalars stay exact because quality
+    levels are small integers, so any summation order gives the same
+    float64.  The simulation's own per-frame encoders leave them at
+    their defaults.
+    """
 
     cycles: float
     qualities: object  # scalar int or per-macroblock list
@@ -203,6 +211,10 @@ class FrameTiming:
     decisions: int
     degraded: int
     deliberate_skip: bool = False
+    mean_quality: float = float("nan")
+    min_quality: int = 0
+    max_quality: int = 0
+    quality_churn: float = 0.0
 
 
 class EncoderSimulation:
@@ -220,7 +232,11 @@ class EncoderSimulation:
     ) -> None:
         self.config = config if config is not None else SimulationConfig()
         if contents is None:
-            contents = generate_content(seed=self.config.seed)
+            # limit= truncates the AR(1) draw sequence bit-identically,
+            # so short clips skip the unused tail's generation cost
+            contents = generate_content(
+                seed=self.config.seed, limit=self.config.frames
+            )
         if self.config.frames is not None:
             contents = list(contents)[: self.config.frames]
         self.contents: list[FrameContent] = list(contents)

@@ -35,9 +35,14 @@ from repro.sim.encoder_loop import EncoderSimulation, SimulationConfig
 from repro.sim.results import RunResult
 
 
-@lru_cache(maxsize=32)
+@lru_cache(maxsize=1024)
 def _simulation(config: SimulationConfig) -> EncoderSimulation:
-    """Cache simulations per config: table construction is the setup cost."""
+    """Cache simulations per config: table construction is the setup cost.
+
+    Sized for fleet scale: scenario generators salt each stream's seed,
+    so a 256-stream fleet holds 256 distinct configs at once — a small
+    cache would rebuild tables round-robin.
+    """
     return EncoderSimulation(config)
 
 
@@ -71,12 +76,25 @@ def reset_caches() -> None:
     After this call previously returned ``RunResult``/``EncoderSimulation``
     objects stay valid but are no longer shared with future calls.
     """
+    from repro.engine.bank import bank_for
+    from repro.engine.kernel import clear_shifted_cache, decision_kernel
     from repro.sim.encoder_loop import compiled_controller
+    from repro.streams.admission import (
+        _completion_array,
+        qmin_completions,
+        qmin_demand,
+    )
 
     _controlled_cached.cache_clear()
     _constant_cached.cache_clear()
     _simulation.cache_clear()
     compiled_controller.cache_clear()
+    decision_kernel.cache_clear()
+    clear_shifted_cache()
+    bank_for.cache_clear()
+    qmin_completions.cache_clear()
+    _completion_array.cache_clear()
+    qmin_demand.cache_clear()
 
 
 def run_controlled(

@@ -23,11 +23,15 @@ Decisions:
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.core.feasibility import FeasibilityReport, check_feasibility
+import numpy as np
+
+from repro.core.feasibility import FeasibilityReport
+from repro.core.sequences import INFINITY, cumulative
 from repro.errors import ConfigurationError
 from repro.sim.encoder_loop import SimulationConfig
 from repro.sim.runner import simulation_for
@@ -56,6 +60,42 @@ class AdmissionVerdict:
     preempted: tuple = ()
 
 
+@lru_cache(maxsize=1024)
+def qmin_completions(
+    config: SimulationConfig, mode: str = "average"
+) -> tuple[float, ...]:
+    """Cumulative qmin completion times over the stream's schedule.
+
+    The expensive part of every feasibility check — walking the
+    schedule and summing per-action times — is deterministic per
+    ``(config, mode)``, so it is computed once here and shared by
+    :func:`qmin_demand` and :meth:`AdmissionController.feasibility`
+    (which only shift it by the available budget).  ``cumulative`` is
+    the same left-fold as ``sum``, so the last element *is* the qmin
+    demand, to the bit.
+    """
+    simulation = simulation_for(config)
+    system = simulation.system
+    times = system.average_times if mode == "average" else system.worst_times
+    qmin = system.qmin
+    return tuple(
+        cumulative(
+            [times.time(action, qmin) for action in simulation.tables.schedule]
+        )
+    )
+
+
+@lru_cache(maxsize=1024)
+def _completion_array(
+    config: SimulationConfig, mode: str
+) -> np.ndarray:
+    """:func:`qmin_completions` as a read-only float64 array (for the
+    vectorized slack computation in ``feasibility``)."""
+    array = np.asarray(qmin_completions(config, mode), dtype=np.float64)
+    array.setflags(write=False)
+    return array
+
+
 @lru_cache(maxsize=256)
 def qmin_demand(config: SimulationConfig, mode: str = "average") -> float:
     """Cycles per period the stream needs at its cheapest quality.
@@ -66,11 +106,8 @@ def qmin_demand(config: SimulationConfig, mode: str = "average") -> float:
     sum over the schedule is deterministic per (config, mode) and the
     fleet runner asks for it on every offer and release.
     """
-    simulation = simulation_for(config)
-    system = simulation.system
-    times = system.average_times if mode == "average" else system.worst_times
-    qmin = system.qmin
-    return sum(times.time(action, qmin) for action in simulation.tables.schedule)
+    completions = qmin_completions(config, mode)
+    return completions[-1] if completions else 0.0
 
 
 class AdmissionController:
@@ -153,16 +190,37 @@ class AdmissionController:
         """
         if available is None:
             available = self.remaining
-        simulation = simulation_for(config)
-        system = simulation.system
-        times = (
-            system.average_times if self.mode == "average" else system.worst_times
+        # fast path over check_feasibility: the completion times are
+        # memoized per (config, mode) and the uniform deadline enters
+        # as a constant, so slack_i = available - completion_i exactly
+        # (IEEE subtraction is monotone, so the min slack is
+        # available - max(completion) and the first violation is the
+        # first completion above the budget — bit-identical to the
+        # generic walk).
+        completions = qmin_completions(config, self.mode)
+        if not completions:
+            return FeasibilityReport(
+                feasible=True,
+                worst_slack=INFINITY,
+                completion_times=(),
+                slacks=(),
+                first_violation=None,
+            )
+        slacks = tuple(
+            (available - _completion_array(config, self.mode)).tolist()
         )
-        qmin = system.qmin
-        return check_feasibility(
-            simulation.tables.schedule,
-            time_of=lambda action: times.time(action, qmin),
-            deadline_of=lambda action: available,
+        # completion times are a nonnegative-term running sum, so the
+        # last element is the maximum and the sequence is sorted:
+        # min slack = available - last, first violation by bisection
+        worst = available - completions[-1]
+        position = bisect_right(completions, available)
+        first_violation = position if position < len(completions) else None
+        return FeasibilityReport(
+            feasible=worst >= 0,
+            worst_slack=worst,
+            completion_times=completions,
+            slacks=slacks,
+            first_violation=first_violation,
         )
 
     # ------------------------------------------------------------------

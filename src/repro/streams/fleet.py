@@ -30,6 +30,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.analysis.metrics import jain_fairness_index
+from repro.engine import validate_engine
 from repro.errors import ConfigurationError
 from repro.sim.results import RunResult
 from repro.streams.admission import AdmissionController, AdmissionDecision
@@ -306,6 +307,13 @@ class FleetRunner:
     renegotiation:
         Optional stateless mid-stream renegotiation policy applied to
         every classed session (see :mod:`repro.sla.renegotiation`).
+    engine:
+        Session execution engine (see :mod:`repro.engine`):
+        ``"scalar"`` steps sessions one by one, ``"vectorized"`` steps
+        all active sessions as numpy batches.  ``"parallel"`` is
+        accepted and behaves as ``"vectorized"`` — a fleet is a single
+        capacity pool, so there are no independent shards to fan out.
+        All engines are bit-identical.
     """
 
     def __init__(
@@ -319,6 +327,7 @@ class FleetRunner:
         observers=(),
         service_classes=None,
         renegotiation=None,
+        engine: str = "scalar",
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError("capacity must be positive")
@@ -333,6 +342,7 @@ class FleetRunner:
         self.observers = tuple(observers)
         self.service_classes = _normalize_classes(service_classes)
         self.renegotiation = renegotiation
+        self.engine = validate_engine(engine)
 
     def reset(self) -> None:
         """Restore the just-constructed state for another ``run``.
@@ -455,9 +465,23 @@ class FleetRunner:
             for observer in self.observers:
                 observer.on_round(round_index, allocations, self.capacity)
             if active:
+                if self.engine == "scalar":
+                    step_of = None
+                else:
+                    # batched stepping computes every SessionStep up
+                    # front; the loop below still applies bookkeeping
+                    # and fires hooks in session order, so results and
+                    # event logs match the scalar engine bit for bit
+                    from repro.engine.vectorized import step_sessions
+
+                    step_of = step_sessions(active, allocations)
                 still_active: list[StreamSession] = []
                 for session in active:
-                    step = session.step(allocations[session.stream_id])
+                    step = (
+                        session.step(allocations[session.stream_id])
+                        if step_of is None
+                        else step_of[session.stream_id]
+                    )
                     if step.renegotiated is not None:
                         old, new = step.renegotiated
                         for observer in self.observers:

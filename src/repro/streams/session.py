@@ -35,10 +35,12 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.bank import bank_for
+from repro.engine.kernel import kernel_for, scalar_decide
 from repro.errors import ConfigurationError
 from repro.sim.encoder_loop import SimulationConfig
 from repro.sim.results import FrameRecord, RunResult
@@ -49,6 +51,23 @@ from repro.video.ratecontrol import VirtualBufferRateController
 #: Grants below this fraction of demand are clamped: the stream is
 #: effectively paused rather than simulated at absurd slowdowns.
 MIN_SPEED = 1e-3
+
+
+@dataclass(frozen=True)
+class EncodeJob:
+    """One frame ready to encode on a session's timeline.
+
+    Produced by :meth:`StreamSession.next_job` (which commits the pop
+    from the input buffer) and consumed by an engine, which runs the
+    decision kernel on the job's banked times and hands the resulting
+    timing back to :meth:`StreamSession.complete_job`.  ``budget`` is
+    the frame's *work* budget in processor cycles (wall budget times
+    this round's speed).
+    """
+
+    frame: int
+    start: float
+    budget: float
 
 
 @dataclass(frozen=True)
@@ -149,7 +168,12 @@ class StreamSession:
         quality_set = self.simulation.quality_set
         self._qmin = quality_set.qmin
         self._qspan = max(1, quality_set.qmax - quality_set.qmin)
-        self._timing_rng = self.simulation._rng(f"stream-timing-{stream_id}")
+        # the engine split: pure decision math shared per shape, all
+        # stochastic times pre-drawn per clip (one draw per frame and
+        # macroblock, independent of how scheduling later plays out)
+        self._kernel = kernel_for(self.simulation, constraint_mode)
+        self._bank = bank_for(config, f"stream-timing-{stream_id}")
+        self._horizon = config.buffer_capacity * config.period
         self._encoder = AnalyticEncoder(
             rd_model=config.rd_model,
             rate_controller=VirtualBufferRateController(config.rate_control),
@@ -162,7 +186,9 @@ class StreamSession:
         self._pending: deque[int] = deque()
         self._free_at = 0.0
         self._round = 0
-        self._resolved: dict[int, tuple[FrameRecord, object]] = {}
+        # frame -> (timing, start, end, budget), or None for a buffer
+        # skip; the FrameRecord itself is built once, in the signal pass
+        self._resolved: dict[int, tuple | None] = {}
         self._signal_next = 0
         self.records: list[FrameRecord] = []
         self.recent_quality = math.nan
@@ -217,43 +243,97 @@ class StreamSession:
         Returns a :class:`SessionStep` describing the round.  Stepping a
         finished session is an error — the fleet runner retires sessions
         as soon as they report ``finished``.
+
+        This is the scalar engine: it drives the same round protocol
+        the vectorized engine uses (:meth:`begin_round` /
+        :meth:`next_job` / :meth:`complete_job` / :meth:`process_arrival`
+        / :meth:`finish_round`), running each job through the scalar
+        decision kernel inline.
         """
+        speed, arrival_limit = self.begin_round(allocation)
+        encoded = self._encode_through(arrival_limit, speed)
+        arrived, arrival_skipped, drain_limit = self.process_arrival()
+        if drain_limit is not None:
+            encoded += self._encode_through(drain_limit, speed)
+        return self.finish_round(allocation, speed, arrived, arrival_skipped, encoded)
+
+    # ------------------------------------------------------------------
+    # the round protocol (engine-facing)
+    # ------------------------------------------------------------------
+
+    def begin_round(self, allocation: float) -> tuple[float, float]:
+        """Validate the grant; return ``(speed, arrival_limit)``."""
         if self.finished:
             raise ConfigurationError(f"stream {self.stream_id!r} already finished")
         if allocation < 0:
             raise ConfigurationError("allocation must be >= 0")
-        cfg = self.config
-        speed = max(allocation / cfg.period, MIN_SPEED)
+        speed = max(allocation / self.config.period, MIN_SPEED)
+        return speed, self._round * self.config.period
+
+    def next_job(self, limit: float, speed: float) -> EncodeJob | None:
+        """Pop the next frame whose start time falls within ``limit``.
+
+        At most the buffer head is eligible: completing it moves
+        ``_free_at``, which gates the frame behind it — so engines call
+        this again after :meth:`complete_job` until it returns ``None``.
+        """
+        if not self._pending:
+            return None
+        frame = self._pending[0]
+        arrival = frame * self.config.period
+        start = max(self._free_at, arrival)
+        if start > limit:
+            return None
+        self._pending.popleft()
+        wall_budget = arrival + self._horizon - start
+        return EncodeJob(frame=frame, start=start, budget=wall_budget * speed)
+
+    def complete_job(self, job: EncodeJob, timing, speed: float) -> None:
+        """Fold one encoded frame's timing back into session state."""
+        wall_cycles = timing.cycles / speed
+        self._free_at = job.start + wall_cycles
+        self._total_used += timing.cycles
+        # quality stats come precomputed from the decision kernel (both
+        # kernels fold them in, bit-identically — see repro.engine.kernel);
+        # the FrameRecord is deferred to the signal pass so each frame
+        # builds exactly one record
+        self._resolved[job.frame] = (timing, job.start, self._free_at, job.budget)
+        self._observe_quality(timing.mean_quality)
+
+    def process_arrival(self) -> tuple[int | None, bool, float | None]:
+        """This round's camera arrival (or backlog-drain window).
+
+        Returns ``(arrived, arrival_skipped, drain_limit)``; a non-None
+        ``drain_limit`` means the camera has stopped and the engine
+        should encode pending frames through that limit.
+        """
         round_index = self._round
-        arrival_limit = round_index * cfg.period
-
-        encoded = self._start_pending_through(arrival_limit, speed)
-
+        arrival_limit = round_index * self.config.period
         arrived: int | None = None
         arrival_skipped = False
+        drain_limit: float | None = None
         if round_index < self.frame_count:
             arrived = round_index
-            if len(self._pending) >= cfg.buffer_capacity:
+            if len(self._pending) >= self.config.buffer_capacity:
                 arrival_skipped = True
-                content = self.simulation.contents[arrived]
-                self._resolved[arrived] = (
-                    FrameRecord(
-                        index=arrived,
-                        is_iframe=content.is_iframe,
-                        skipped=True,
-                        arrival=arrival_limit,
-                        motion=content.motion_activity,
-                    ),
-                    None,
-                )
+                self._resolved[arrived] = None
             else:
                 self._pending.append(arrived)
         elif self._pending:
             # camera stopped: drain the backlog, one round per period
-            encoded += self._start_pending_through(
-                arrival_limit + cfg.period, speed
-            )
+            drain_limit = arrival_limit + self.config.period
+        return arrived, arrival_skipped, drain_limit
 
+    def finish_round(
+        self,
+        allocation: float,
+        speed: float,
+        arrived: int | None,
+        arrival_skipped: bool,
+        encoded: list[int],
+    ) -> SessionStep:
+        """Close the round: signal pass, renegotiation, the step record."""
+        round_index = self._round
         self._round += 1
         self._total_granted += allocation
         self._emit_signal()
@@ -269,6 +349,20 @@ class StreamSession:
             finished=self.finished,
             renegotiated=renegotiated,
         )
+
+    def _encode_through(self, limit: float, speed: float) -> list[int]:
+        """Scalar inner loop: encode eligible frames one at a time."""
+        encoded: list[int] = []
+        while (job := self.next_job(limit, speed)) is not None:
+            timing = scalar_decide(
+                self._kernel,
+                self.granularity,
+                *self._bank.frame_lists(job.frame),
+                job.budget,
+            )
+            self.complete_job(job, timing, speed)
+            encoded.append(job.frame)
+        return encoded
 
     def _renegotiate(self, allocation: float) -> tuple[float, float] | None:
         """Move the quality target per this round's grant and quality."""
@@ -305,61 +399,6 @@ class StreamSession:
         self.renegotiation_count += 1
         return (old, self.quality_target)
 
-    def _start_pending_through(self, limit: float, speed: float) -> list[int]:
-        """Encode pending frames whose start time is <= ``limit``."""
-        cfg = self.config
-        sim = self.simulation
-        horizon = cfg.buffer_capacity * cfg.period
-        encoded: list[int] = []
-        while self._pending:
-            frame = self._pending[0]
-            arrival = frame * cfg.period
-            start = max(self._free_at, arrival)
-            if start > limit:
-                break
-            self._pending.popleft()
-            content = sim.contents[frame]
-            wall_budget = arrival + horizon - start
-            work_budget = wall_budget * speed
-            timing = sim._encode_controlled_frame(
-                self._timing_rng,
-                content,
-                work_budget,
-                self.constraint_mode,
-                self.granularity,
-            )
-            wall_cycles = timing.cycles / speed
-            self._free_at = start + wall_cycles
-            self._total_used += timing.cycles
-            qualities = np.atleast_1d(np.asarray(timing.qualities))
-            churn = (
-                float(np.mean(np.abs(np.diff(qualities))))
-                if qualities.size > 1
-                else 0.0
-            )
-            record = FrameRecord(
-                index=frame,
-                is_iframe=content.is_iframe,
-                skipped=False,
-                arrival=arrival,
-                motion=content.motion_activity,
-                start=start,
-                end=self._free_at,
-                budget=work_budget,
-                encode_cycles=timing.cycles,
-                controller_cycles=timing.controller_cycles,
-                decisions=timing.decisions,
-                degraded_steps=timing.degraded,
-                mean_quality=float(np.mean(qualities)),
-                min_quality=int(np.min(qualities)),
-                max_quality=int(np.max(qualities)),
-                quality_churn=churn,
-            )
-            self._resolved[frame] = (record, qualities)
-            self._observe_quality(record.mean_quality)
-            encoded.append(frame)
-        return encoded
-
     def _observe_quality(self, mean_quality: float) -> None:
         if math.isnan(self.recent_quality):
             self.recent_quality = mean_quality
@@ -376,16 +415,48 @@ class StreamSession:
         so the signal pass trails the timeline and only consumes
         frames once everything before them is resolved.
         """
+        period = self.config.period
         while self._signal_next in self._resolved:
-            record, qualities = self._resolved.pop(self._signal_next)
-            content = self.simulation.contents[record.index]
-            if record.skipped:
+            index = self._signal_next
+            resolved = self._resolved.pop(index)
+            content = self.simulation.contents[index]
+            if resolved is None:
                 outcome = self._encoder.skip_frame(content)
+                record = FrameRecord(
+                    index=index,
+                    is_iframe=content.is_iframe,
+                    skipped=True,
+                    arrival=index * period,
+                    motion=content.motion_activity,
+                    psnr=outcome.psnr,
+                    bits=outcome.bits,
+                )
             else:
-                outcome = self._encoder.encode_frame(content, qualities)
-            self.records.append(
-                replace(record, psnr=outcome.psnr, bits=outcome.bits)
-            )
+                timing, start, end, budget = resolved
+                outcome = self._encoder.encode_frame(
+                    content, timing.qualities, mean_quality=timing.mean_quality
+                )
+                record = FrameRecord(
+                    index=index,
+                    is_iframe=content.is_iframe,
+                    skipped=False,
+                    arrival=index * period,
+                    motion=content.motion_activity,
+                    start=start,
+                    end=end,
+                    budget=budget,
+                    encode_cycles=timing.cycles,
+                    controller_cycles=timing.controller_cycles,
+                    decisions=timing.decisions,
+                    degraded_steps=timing.degraded,
+                    mean_quality=timing.mean_quality,
+                    min_quality=timing.min_quality,
+                    max_quality=timing.max_quality,
+                    quality_churn=timing.quality_churn,
+                    psnr=outcome.psnr,
+                    bits=outcome.bits,
+                )
+            self.records.append(record)
             self._signal_next += 1
 
     # ------------------------------------------------------------------

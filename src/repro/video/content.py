@@ -88,17 +88,29 @@ def paper_benchmark_sequences() -> tuple[SequenceSpec, ...]:
 
 
 def generate_content(
-    sequences: Sequence[SequenceSpec] | None = None, seed: int = 2005
+    sequences: Sequence[SequenceSpec] | None = None,
+    seed: int = 2005,
+    limit: int | None = None,
 ) -> list[FrameContent]:
-    """Expand sequence specs into per-frame content descriptors."""
+    """Expand sequence specs into per-frame content descriptors.
+
+    ``limit`` stops generation after that many frames.  The AR(1) noise
+    is drawn sequentially in frame order, so the truncated list is
+    bit-identical to the prefix of the full benchmark — short-clip
+    sessions (the fleet's common case) skip the unused tail's draws.
+    """
     if sequences is None:
         sequences = paper_benchmark_sequences()
     rng = np.random.default_rng(np.random.SeedSequence(seed))
     frames: list[FrameContent] = []
     index = 0
     for seq_id, spec in enumerate(sequences):
+        if limit is not None and index >= limit:
+            break
         motion = spec.motion
         for k in range(spec.frames):
+            if limit is not None and index >= limit:
+                break
             if k == 0:
                 motion = spec.motion
             else:

@@ -70,8 +70,19 @@ class AnalyticEncoder:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.bits_noise = bits_noise
 
-    def encode_frame(self, content: FrameContent, qualities) -> FrameOutcome:
-        """Encode one frame at the given per-macroblock (or scalar) qualities."""
+    def encode_frame(
+        self,
+        content: FrameContent,
+        qualities,
+        mean_quality: float | None = None,
+    ) -> FrameOutcome:
+        """Encode one frame at the given per-macroblock (or scalar) qualities.
+
+        Callers that already know the frame's mean quality (the stream
+        sessions carry it on their :class:`FrameRecord`) pass it in to
+        skip the redundant reduction; quality levels are integers, so
+        the precomputed value is bit-equal to the one computed here.
+        """
         allocation = self.rate_controller.allocate(is_iframe=content.is_iframe)
         spent = allocation
         if self.bits_noise > 0:
@@ -80,11 +91,15 @@ class AnalyticEncoder:
             )
         psnr = self.rd_model.encoded_psnr(content, qualities, spent, self.pixels)
         self.rate_controller.commit(spent)
+        if mean_quality is None:
+            mean_quality = float(
+                np.mean(np.asarray(qualities, dtype=np.float64))
+            )
         return FrameOutcome(
             frame_index=content.index,
             psnr=psnr,
             bits=spent,
-            mean_quality=float(np.mean(np.asarray(qualities, dtype=np.float64))),
+            mean_quality=mean_quality,
             is_iframe=content.is_iframe,
             skipped=False,
         )

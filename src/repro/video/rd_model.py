@@ -25,6 +25,7 @@ what the reproduction asserts (EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -92,9 +93,12 @@ class RateDistortionModel:
         return 1.0 + (bpp / self.rate_knee_bpp) ** self.rate_exponent
 
     def _to_psnr(self, mse: float) -> float:
+        # scalar math: this sits on the per-frame hot path of every
+        # engine, and numpy ufunc dispatch on Python floats costs more
+        # than the arithmetic
         mse = max(mse, 1e-6)
-        psnr = 10.0 * np.log10(self.peak * self.peak / mse)
-        return float(np.clip(psnr, self.min_psnr, self.max_psnr))
+        psnr = 10.0 * math.log10(self.peak * self.peak / mse)
+        return min(max(psnr, self.min_psnr), self.max_psnr)
 
     # ------------------------------------------------------------------
     # the three frame outcomes
