@@ -50,6 +50,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect tumbling-window telemetry every N rounds (0 = off)",
     )
     serve.add_argument(
+        "--watch",
+        metavar="N",
+        type=int,
+        default=0,
+        help="print the live telemetry window to stderr as a JSON line "
+        "every N rounds (0 = off); long-horizon runs use this to watch "
+        "an always-on cluster without waiting for the final summary",
+    )
+    serve.add_argument(
         "--invariants",
         choices=("off", "record", "enforce"),
         default="record",
@@ -101,15 +110,50 @@ def _cmd_serve(args) -> int:
         StructuredEventLog,
         TelemetryObserver,
     )
+    from repro.serving.observers import RoundObserver
     from repro.serving.runner import _coerce_spec
 
+    class Watch(RoundObserver):
+        """Live progress: the in-flight telemetry window, one JSON
+        line to stderr every ``every`` rounds (first shard's hook
+        only — ``current()`` is a mid-window snapshot either way)."""
+
+        def __init__(self, telemetry, every):
+            self.telemetry = telemetry
+            self.every = every
+            self._printed = -1
+
+        def on_round(self, round_index, allocations, capacity,
+                     shard_id=None):
+            # fire on the last round of each N-block, while the
+            # window is still open — current() then covers the whole
+            # block instead of the single round that just opened it
+            if (
+                (round_index + 1) % self.every == 0
+                and round_index != self._printed
+            ):
+                self._printed = round_index
+                line = json.dumps(
+                    {"round": round_index, **self.telemetry.current()},
+                    sort_keys=True,
+                )
+                print(line, file=sys.stderr, flush=True)
+
     spec = _coerce_spec(_read_spec(args.spec))
+    if args.watch < 0:
+        raise ConfigurationError("--watch must be >= 0")
 
     observers = []
     telemetry = event_log = invariants = perf = None
     if args.metrics_window:
         telemetry = TelemetryObserver(window=args.metrics_window)
         observers.append(telemetry)
+    elif args.watch:
+        # --watch alone still needs a telemetry source to snapshot
+        telemetry = TelemetryObserver(window=args.watch)
+        observers.append(telemetry)
+    if args.watch:
+        observers.append(Watch(telemetry, args.watch))
     if args.events or args.timeline:
         event_log = StructuredEventLog(path=args.events)
         observers.append(event_log)

@@ -28,7 +28,7 @@ fairness, load imbalance, migration counts.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 
 import numpy as np
@@ -40,7 +40,7 @@ from repro.cluster.scenarios import ClusterScenario
 from repro.cluster.shard import Shard
 from repro.engine import validate_engine
 from repro.errors import ConfigurationError
-from repro.streams.admission import AdmissionController
+from repro.streams.admission import AdmissionController, qmin_demand
 from repro.streams.arbiter import CapacityArbiter, make_arbiter
 from repro.streams.fleet import (
     FleetResult,
@@ -117,6 +117,12 @@ class ClusterResult:
     migrations: list[MigrationMove] = field(default_factory=list)
     shard_demand_cycles: list[float] = field(default_factory=list)
     lent_cycles: float = 0.0
+    #: provisioned capacity summed over rounds (cycles x rounds) — what
+    #: a statically provisioned cluster "pays for"; the autoscaler
+    #: benchmarks compare this across provisioning strategies
+    capacity_rounds: float = 0.0
+    #: scale actions the autoscaler applied (empty without one)
+    scale_actions: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # aggregates
@@ -219,6 +225,8 @@ class ClusterResult:
             "acceptance_ratio": round(self.acceptance_ratio, 4),
             "migrations": self.migration_count,
             "active_migrations": self.active_migration_count,
+            "scale_actions": len(self.scale_actions),
+            "capacity_rounds": round(self.capacity_rounds, 3),
             "frames": self.total_frames(),
             "skips": self.total_skips(),
             "mean_quality": round(self.mean_quality(), 3),
@@ -320,6 +328,7 @@ class ClusterRunner:
         max_rounds: int = 100_000,
         observers=(),
         engine: str = "scalar",
+        autoscaler=None,
         **shard_kwargs,
     ) -> None:
         if max_rounds < 1:
@@ -330,22 +339,28 @@ class ClusterRunner:
         self.max_rounds = max_rounds
         self.observers = tuple(observers)
         self.engine = validate_engine(engine)
+        self.autoscaler = autoscaler
         self.shard_kwargs = shard_kwargs
+        self._scale_serial = 0
 
     def reset(self) -> None:
         """Restore the just-constructed state for another ``run``.
 
         Clears every policy's cross-run memory (placement rotation,
-        migration residency records, balancer lending tally).  ``run``
-        calls this on entry, so back-to-back runs on one instance are
-        bit-identical to fresh-runner runs; it is public so callers
-        holding a runner can also discard state explicitly.
+        migration residency records, balancer lending tally, autoscaler
+        telemetry).  ``run`` calls this on entry, so back-to-back runs
+        on one instance are bit-identical to fresh-runner runs; it is
+        public so callers holding a runner can also discard state
+        explicitly.
         """
         self.placement.reset()
         if self.migration is not None:
             self.migration.reset()
         if self.balancer is not None:
             self.balancer.reset()
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+        self._scale_serial = 0
 
     def run(
         self,
@@ -367,18 +382,26 @@ class ClusterRunner:
                 f"scenario expects {scenario.shard_count} shards, "
                 f"got {len(shards)}"
             )
+        # the autoscaler's signal source (usually its private telemetry
+        # observer) rides along with the caller's observers so it sees
+        # every hook on every shard
+        observers = self.observers
+        if self.autoscaler is not None:
+            signal_observer = self.autoscaler.observer()
+            if signal_observer is not None:
+                observers = observers + (signal_observer,)
         for shard in shards:
-            shard.observers = self.observers
+            shard.observers = observers
             shard.engine = self.engine
         timed = False
-        if self.observers:
+        if observers:
             # imported lazily — the cluster layer never depends on
             # repro.serving at import time
             from repro.serving.observers import phase_timing_enabled
 
-            timed = phase_timing_enabled(self.observers)
+            timed = phase_timing_enabled(observers)
             for shard in shards:
-                for observer in self.observers:
+                for observer in observers:
                     observer.on_capacity(
                         shard.capacity, 0, shard_id=shard.shard_id
                     )
@@ -399,7 +422,16 @@ class ClusterRunner:
         )
         by_id = {s.shard_id: s for s in shards}
         arrivals = scenario.arrivals
-        horizon = max(arrivals.last_arrival_round, scenario.last_event_round)
+        open_ended = bool(getattr(scenario, "open_ended", False))
+        if open_ended:
+            # max_rounds is the *stop condition*: the last arrival round
+            # is horizon, then cameras shut down and the backlog drains
+            horizon = self.max_rounds - 1
+        else:
+            horizon = max(arrivals.last_arrival_round, scenario.last_event_round)
+        # shards the autoscaler retired mid-run; their serving history
+        # still counts in the aggregate result
+        retired: list[Shard] = []
         executor = None
         if self.engine == "parallel" and len(shards) > 1:
             # one worker pool per run; shards share no mutable state,
@@ -415,50 +447,75 @@ class ClusterRunner:
         try:
             round_index = self._serve_rounds(
                 scenario, shards, by_id, arrivals, horizon, timed, result,
-                executor,
+                executor, observers, open_ended, retired,
             )
         finally:
             if executor is not None:
                 executor.shutdown(wait=True)
         result.rounds = round_index
         result.shard_results = [
-            s.result(scenario.name, round_index) for s in shards
+            s.result(scenario.name, round_index) for s in shards + retired
         ]
-        result.shard_demand_cycles = [s.demand_cycles for s in shards]
+        result.shard_demand_cycles = [
+            s.demand_cycles for s in shards + retired
+        ]
         if self.balancer is not None:
             result.lent_cycles = self.balancer.lent_cycles
         return result
 
     def _serve_rounds(
         self, scenario, shards, by_id, arrivals, horizon, timed, result,
-        executor,
+        executor, observers, open_ended, retired,
     ) -> int:
         """The round loop of :meth:`run`; returns the rounds served."""
         round_index = 0
+        # the drain tail of an open-ended run extends past the stop
+        # round, so the runaway valve has to sit beyond it
+        round_limit = (
+            2 * self.max_rounds + 1000 if open_ended else self.max_rounds
+        )
+        # capacity events address shards by scenario index; autoscaled
+        # shards come and go, so keep the original index mapping stable
+        event_targets: list[Shard] = list(shards)
         while round_index <= horizon or any(s.busy for s in shards):
-            if round_index >= self.max_rounds:
+            if round_index >= round_limit:
                 raise ConfigurationError(
                     f"cluster exceeded max_rounds={self.max_rounds}"
+                    + (
+                        " (open-ended drain did not converge)"
+                        if open_ended
+                        else ""
+                    )
                 )
+            draining = open_ended and round_index > horizon
             # 1. capacity events (admission re-checks its queue below:
             # an event changes feasibility without any release)
             event_shards: set[str] = set()
             for event in scenario.events_at(round_index):
-                shard = shards[event.shard_index]
+                shard = event_targets[event.shard_index]
+                if shard not in shards:
+                    continue  # the autoscaler retired this pool
                 shard.set_capacity(shard.nominal_capacity * event.factor)
                 event_shards.add(shard.shard_id)
-                for observer in self.observers:
+                for observer in observers:
                     observer.on_capacity(
                         shard.capacity, round_index, shard_id=shard.shard_id
                     )
+            # 1b. open-ended stop condition reached: cameras stop, the
+            # wait queues flush (nothing behind them will be served)
+            if draining:
+                for shard in shards:
+                    shard.shutdown_sessions()
+                    shard.flush_queue(round_index)
             # 2. arrivals through placement + shard admission
             t0 = perf_counter() if timed else 0.0
-            for spec in arrivals.arrivals_at(round_index):
-                shard = self.placement.choose(spec, shards, round_index)
-                shard.offer(spec, round_index)
+            if not draining:
+                for spec in arrivals.arrivals_at(round_index):
+                    shard = self.placement.choose(spec, shards, round_index)
+                    shard.offer(spec, round_index)
             if timed:
                 now = perf_counter()
-                for observer in self.observers:
+                for observer in observers:
                     observer.on_phase("placement", now - t0, round_index)
                 t0 = now
             # 3. migration
@@ -467,20 +524,25 @@ class ClusterRunner:
                 for move in moves:
                     if self._execute(move, by_id, round_index):
                         result.migrations.append(move)
-                        for observer in self.observers:
+                        for observer in observers:
                             observer.on_migrate(move, round_index)
                 if timed:
                     now = perf_counter()
-                    for observer in self.observers:
+                    for observer in observers:
                         observer.on_phase("migration", now - t0, round_index)
             # 4. queued streams that now fit start
-            for shard in shards:
-                shard.admit_queued(
-                    round_index, force=shard.shard_id in event_shards
-                )
+            if not draining:
+                for shard in shards:
+                    shard.admit_queued(
+                        round_index, force=shard.shard_id in event_shards
+                    )
             # stuck queues: nothing active anywhere, no arrivals or
             # events left — nothing will ever free capacity, flush
-            if round_index > horizon and not any(s.active for s in shards):
+            if (
+                not open_ended
+                and round_index > horizon
+                and not any(s.active for s in shards)
+            ):
                 for shard in shards:
                     shard.reject_stuck_queue(round_index)
                     # whatever survived the flush fits on an idle shard
@@ -494,8 +556,9 @@ class ClusterRunner:
             )
             if timed and self.balancer is not None:
                 now = perf_counter()
-                for observer in self.observers:
+                for observer in observers:
                     observer.on_phase("balancing", now - t0, round_index)
+            result.capacity_rounds += sum(s.capacity for s in shards)
             if executor is not None:
                 from repro.engine.parallel import step_shards
 
@@ -507,7 +570,7 @@ class ClusterRunner:
                         None if effective is None
                         else effective[shard.shard_id]
                     ),
-                    self.observers,
+                    observers,
                 )
             else:
                 for shard in shards:
@@ -517,8 +580,186 @@ class ClusterRunner:
                         if effective is None
                         else effective[shard.shard_id],
                     )
+            # 7. autoscaling: plan from this round's signals, apply the
+            # actions between rounds (the next round sees the new pools)
+            if self.autoscaler is not None:
+                for action in self.autoscaler.plan(shards, round_index):
+                    self._apply_scale(
+                        action, shards, by_id, retired, round_index,
+                        observers, result,
+                    )
             round_index += 1
         return round_index
+
+    # ------------------------------------------------------------------
+    # autoscaling
+    # ------------------------------------------------------------------
+
+    def _provision(self, capacity: float, observers) -> Shard:
+        """Build one fresh shard the way ``run`` builds the initial ones."""
+        shard = build_shards([capacity], **self.shard_kwargs)[0]
+        shard.shard_id = f"scale-{self._scale_serial}"
+        self._scale_serial += 1
+        shard.observers = observers
+        shard.engine = self.engine
+        return shard
+
+    def _relocation_plan(self, moving, dests):
+        """Greedy stream placement for a drained shard's population.
+
+        ``moving`` is ``[(source, spec, kind), ...]`` in deterministic
+        order; returns ``[(source, spec, kind, dest), ...]`` or ``None``
+        when some *active* session fits nowhere — the caller must then
+        drop the whole action (a scale-down never strands a live
+        stream).  Queued specs always get a destination (its admission
+        gate re-decides: admit, re-queue or reject honestly).
+        """
+        headroom = {d.shard_id: d.headroom() for d in dests}
+        plan = []
+        for source, spec, kind in moving:
+            best = None
+            for dest in dests:
+                need = (
+                    qmin_demand(spec.config, dest.admission.mode)
+                    if dest.admission is not None
+                    else spec.config.period
+                )
+                if need > headroom[dest.shard_id]:
+                    continue
+                if best is None or (
+                    headroom[dest.shard_id] > headroom[best.shard_id]
+                ):
+                    best = dest
+            if best is None:
+                if kind == "active":
+                    return None
+                best = max(dests, key=lambda d: headroom[d.shard_id])
+            else:
+                need = (
+                    qmin_demand(spec.config, best.admission.mode)
+                    if best.admission is not None
+                    else spec.config.period
+                )
+                headroom[best.shard_id] -= need
+            plan.append((source, spec, kind, best))
+        return plan
+
+    def _population(self, shard: Shard):
+        """A shard's streams in deterministic order: active, then queued."""
+        return [
+            (shard, shard.spec_of[s.stream_id], "active") for s in shard.active
+        ] + [(shard, spec, "queued") for spec in shard.queue]
+
+    def _apply_scale(
+        self, action, shards, by_id, retired, round_index, observers, result,
+    ) -> bool:
+        """Apply one :class:`~repro.horizon.autoscaler.ScaleAction`.
+
+        Structural problems (unknown kind or shard, non-conserving
+        split/merge, removing the last shard) are configuration errors —
+        an autoscaler that emits them is broken.  A *relocation* that
+        cannot be done safely (a live session fits on no surviving
+        shard) silently drops the action instead: capacity stays as it
+        was and the policy may retry later.  Observers see the applied
+        action via ``on_scale`` (fired before any mutation, with the
+        created shard ids filled in), then ``on_capacity`` for every
+        provisioned shard, then ``on_migrate`` per relocated stream,
+        then ``on_capacity(0.0)`` for every retired shard.
+        """
+        kind = getattr(action, "kind", None)
+        if kind not in ("add", "remove", "split", "merge"):
+            raise ConfigurationError(f"unknown scale action kind {kind!r}")
+        sources = []
+        for shard_id in action.shards:
+            shard = by_id.get(shard_id)
+            if shard is None or shard not in shards:
+                raise ConfigurationError(
+                    f"scale action targets unknown shard {shard_id!r}"
+                )
+            sources.append(shard)
+        created: list[Shard] = []
+        plan = []
+        if kind == "add":
+            created = [self._provision(action.capacities[0], observers)]
+        elif kind == "remove":
+            survivors = [s for s in shards if s is not sources[0]]
+            if not survivors:
+                raise ConfigurationError("cannot remove the last shard")
+            plan = self._relocation_plan(
+                self._population(sources[0]), survivors
+            )
+            if plan is None:
+                return False
+        elif kind == "split":
+            total = sum(action.capacities)
+            if not math.isclose(
+                total, sources[0].capacity, rel_tol=1e-9, abs_tol=1e-6
+            ):
+                raise ConfigurationError(
+                    f"split of {sources[0].shard_id!r} does not conserve "
+                    f"capacity: {total} != {sources[0].capacity}"
+                )
+            created = [
+                self._provision(c, observers) for c in action.capacities
+            ]
+            plan = self._relocation_plan(
+                self._population(sources[0]), created
+            )
+            if plan is None:
+                return False
+        else:  # merge
+            total = sum(s.capacity for s in sources)
+            if action.capacities and not math.isclose(
+                action.capacities[0], total, rel_tol=1e-9, abs_tol=1e-6
+            ):
+                raise ConfigurationError(
+                    f"merge does not conserve capacity: "
+                    f"{action.capacities[0]} != {total}"
+                )
+            created = [self._provision(total, observers)]
+            plan = self._relocation_plan(
+                [m for s in sources for m in self._population(s)], created
+            )
+            if plan is None:
+                return False
+        applied = replace(action, created=tuple(s.shard_id for s in created))
+        result.scale_actions.append(applied)
+        for observer in observers:
+            observer.on_scale(applied, round_index)
+        for shard in created:
+            shards.append(shard)
+            by_id[shard.shard_id] = shard
+            for observer in observers:
+                observer.on_capacity(
+                    shard.capacity, round_index, shard_id=shard.shard_id
+                )
+        for source, spec, move_kind, dest in plan:
+            if move_kind == "active":
+                session, live_spec, admitted = source.detach(spec.name)
+                dest.attach(session, live_spec, admitted)
+            else:
+                popped = source.pop_queued(spec.name)
+                if popped is None:
+                    continue
+                dest.offer(popped, round_index)
+            move = MigrationMove(
+                stream_id=spec.name,
+                source=source.shard_id,
+                dest=dest.shard_id,
+                kind=move_kind,
+            )
+            result.migrations.append(move)
+            for observer in observers:
+                observer.on_migrate(move, round_index)
+        for shard in sources:
+            shards.remove(shard)
+            del by_id[shard.shard_id]
+            retired.append(shard)
+            for observer in observers:
+                observer.on_capacity(
+                    0.0, round_index, shard_id=shard.shard_id
+                )
+        return True
 
     def _execute(
         self,

@@ -69,6 +69,11 @@ class ClusterScenario:
                 )
 
     @property
+    def open_ended(self) -> bool:
+        """Do arrivals keep coming until the runner's stop condition?"""
+        return bool(getattr(self.arrivals, "open_ended", False))
+
+    @property
     def shard_count(self) -> int:
         return len(self.shard_capacities)
 

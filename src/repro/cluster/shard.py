@@ -290,6 +290,31 @@ class Shard:
         self.admission.queue.extend(kept)
         return flushed
 
+    def flush_queue(self, round_index: int | None = None) -> int:
+        """Reject every queued spec unconditionally.
+
+        Open-ended runs call this at their ``max_rounds`` stop
+        condition: arrivals are over and active cameras are shutting
+        down, so anything still waiting will never be served — letting
+        it trickle into admission mid-drain would only spawn zero-value
+        one-round sessions.
+        """
+        if self.admission is None or not self.admission.queue:
+            return 0
+        flushed = 0
+        while self.admission.queue:
+            spec = self.admission.queue.popleft()
+            self.admission.rejected_count += 1
+            self.rejected.append(spec)
+            flushed += 1
+            for observer in self.observers:
+                observer.on_reject(spec, round_index, shard_id=self.shard_id)
+        return flushed
+
+    def shutdown_sessions(self) -> int:
+        """Stop every unbounded camera on this shard (drain begins)."""
+        return sum(1 for s in self.active if s.shutdown())
+
     # ------------------------------------------------------------------
     # migration primitives
     # ------------------------------------------------------------------
@@ -457,6 +482,7 @@ class Shard:
             constraint_mode=self.constraint_mode,
             granularity=self.granularity,
             weight=spec.weight,
+            lifetime=getattr(spec, "lifetime", None),
             **session_sla_kwargs(
                 spec, self.service_classes, self.renegotiation
             ),

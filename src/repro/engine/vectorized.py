@@ -70,7 +70,7 @@ def _drain(lanes: list[_Lane]) -> None:
                 timing = scalar_decide(
                     session._kernel,
                     session.granularity,
-                    *session._bank.frame_lists(job.frame),
+                    *session._bank.frame_lists(job.bank_frame),
                     job.budget,
                 )
                 session.complete_job(job, timing, lane.speed)
@@ -84,11 +84,11 @@ def _drain(lanes: list[_Lane]) -> None:
             # back-transpose then finds contiguous arrays and skips the
             # relayout copy entirely
             grab = np.stack(
-                [lane.session._bank.grab_plus[job.frame] for lane, job in members],
+                [lane.session._bank.grab_plus[job.bank_frame] for lane, job in members],
                 axis=1,
             ).T
             me = np.stack(
-                [lane.session._bank.me_plus[job.frame] for lane, job in members],
+                [lane.session._bank.me_plus[job.bank_frame] for lane, job in members],
                 axis=1,
             ).transpose(1, 0, 2)
             budgets = np.asarray([job.budget for _, job in members])

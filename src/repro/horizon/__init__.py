@@ -1,0 +1,65 @@
+"""Long-horizon always-on serving: open-ended sources + autoscaling.
+
+The PR-9 subsystem.  Everything before it ran *clips*: a scenario
+listed finitely many arrivals, every stream had a known frame count,
+and the runners stopped when the last session drained.  Always-on
+serving breaks both assumptions, and this package supplies the two
+halves:
+
+* :mod:`repro.horizon.sources` — open-ended scenarios
+  (:class:`DiurnalScenario`, :class:`FlashCrowdScenario`,
+  :class:`DriftScenario`) that generate Poisson arrivals lazily per
+  round, forever, with unbounded stream lifetimes ended by the
+  EWMA idle detector (:class:`~repro.streams.scenarios.IdleDeparture`);
+  runs are bounded only by the serving spec's explicit ``max_rounds``;
+* :mod:`repro.horizon.autoscaler` — the :class:`Autoscaler` policy
+  protocol and the telemetry-driven :class:`SignalAutoscaler`, which
+  turn windowed serving metrics into :class:`ScaleAction`s
+  (add / remove / split / merge) that the cluster runner applies
+  between rounds under the ``scale-conservation`` and pacing
+  invariants (:mod:`repro.obs.invariants`).
+
+Import discipline: this package imports only streams/cluster/sla/obs
+leaves; the serving registry imports *it* (to register scenarios and
+the ``signal`` autoscaler), never the other way around.
+"""
+
+from repro.horizon.autoscaler import (
+    SCALE_KINDS,
+    Autoscaler,
+    ScaleAction,
+    ScheduledAutoscaler,
+    SignalAutoscaler,
+)
+from repro.horizon.sources import (
+    CONTENT_SEEDS,
+    DiurnalScenario,
+    DriftScenario,
+    FlashCrowdScenario,
+    OpenEndedScenario,
+    diurnal_cluster,
+    diurnal_live,
+    drift_cluster,
+    drift_live,
+    flash_crowd_cluster,
+    flash_crowd_live,
+)
+
+__all__ = [
+    "CONTENT_SEEDS",
+    "SCALE_KINDS",
+    "Autoscaler",
+    "DiurnalScenario",
+    "DriftScenario",
+    "FlashCrowdScenario",
+    "OpenEndedScenario",
+    "ScaleAction",
+    "ScheduledAutoscaler",
+    "SignalAutoscaler",
+    "diurnal_cluster",
+    "diurnal_live",
+    "drift_cluster",
+    "drift_live",
+    "flash_crowd_cluster",
+    "flash_crowd_live",
+]

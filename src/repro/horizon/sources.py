@@ -1,0 +1,392 @@
+"""Open-ended workload sources: always-on arrivals, generated lazily.
+
+The finite scenarios in :mod:`repro.streams.scenarios` enumerate every
+arrival up front, so a run ends when the list drains.  A 24/7 serving
+system has no such list — load is a *rate profile* over time, streams
+hang up when their viewers go idle, and the run is bounded by the
+runner's ``max_rounds`` stop condition instead of clip length.
+
+An :class:`OpenEndedScenario` therefore generates its arrivals lazily:
+``arrivals_at(r)`` draws a Poisson count from ``rate(r)`` using a
+per-round :class:`numpy.random.SeedSequence` spawned from ``(seed,
+r)``, so the schedule is stateless (any round can be queried in any
+order, any number of times, and always answers the same) and byte-for-
+byte deterministic under a fixed seed.  Every emitted stream is
+*unbounded* — it carries an :class:`~repro.streams.scenarios.
+IdleDeparture` policy and loops its banked content until the idle
+detector hangs it up.
+
+Profiles (the three shapes a capacity controller must survive):
+
+* :class:`DiurnalScenario` — a sinusoidal day/night swing between
+  ``base_rate`` and ``peak_rate`` arrivals per round;
+* :class:`FlashCrowdScenario` — a flat baseline with a short
+  multiplicative spike (the breaking-news case);
+* :class:`DriftScenario` — a slow linear ramp between two rates (the
+  service-is-growing case).
+
+Cluster wrappers (``*_cluster``) put the same arrival processes over a
+multi-shard topology sized by an explicit per-shard capacity — the
+autoscaler benchmarks provision the same profile at trough vs peak and
+compare capacity-rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.scenarios import ClusterScenario
+from repro.errors import ConfigurationError
+from repro.experiments.configs import scaled_config
+from repro.streams.scenarios import IdleDeparture, Scenario, StreamSpec
+
+#: Distinct content seeds cycled by the lazy generators.  A small pool
+#: keeps the per-config simulation/table caches bounded on long runs;
+#: per-stream timing still differs because the frame-time bank and the
+#: signal/activity RNGs are salted by stream id.
+CONTENT_SEEDS = 16
+
+
+@dataclass(frozen=True)
+class OpenEndedScenario(Scenario):
+    """Base class for lazy, rate-driven arrival schedules.
+
+    Subclasses implement :meth:`rate` (expected arrivals per round).
+    ``specs`` stays empty — arrivals exist only through
+    :meth:`arrivals_at`.  ``classes`` assigns service tiers to new
+    streams by a deterministic per-round draw (empty = unclassed).
+    """
+
+    open_ended = True
+
+    seed: int = 7
+    scale: int = 20
+    loop_frames: int = 24
+    weight: float = 1.0
+    classes: tuple[str, ...] = ()
+    lifetime: IdleDeparture = IdleDeparture()
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigurationError("seed must be >= 0")
+        if self.loop_frames < 1:
+            raise ConfigurationError("loop_frames must be >= 1")
+        if self.weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        if not isinstance(self.lifetime, IdleDeparture):
+            raise ConfigurationError(
+                "lifetime must be an IdleDeparture (open-ended streams "
+                "need a departure policy)"
+            )
+
+    # ------------------------------------------------------------------
+    # the profile
+    # ------------------------------------------------------------------
+
+    def rate(self, round_index: int) -> float:
+        """Expected arrivals this round (the load profile)."""
+        raise NotImplementedError
+
+    def arrivals_at(self, round_index: int) -> list[StreamSpec]:
+        lam = self.rate(round_index)
+        if lam <= 0:
+            return []
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, round_index])
+        )
+        count = int(rng.poisson(lam))
+        specs = []
+        for i in range(count):
+            content = int(rng.integers(CONTENT_SEEDS))
+            service_class = (
+                self.classes[int(rng.integers(len(self.classes)))]
+                if self.classes
+                else None
+            )
+            specs.append(
+                StreamSpec(
+                    name=f"live-{round_index}-{i}",
+                    arrival_round=round_index,
+                    config=scaled_config(
+                        scale=self.scale,
+                        seed=self.seed + 100 + content,
+                        frames=self.loop_frames,
+                    ),
+                    weight=self.weight,
+                    service_class=service_class,
+                    lifetime=self.lifetime,
+                )
+            )
+        return specs
+
+    # ------------------------------------------------------------------
+    # interface guards / sizing helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def last_arrival_round(self) -> int:
+        raise ConfigurationError(
+            f"scenario {self.name!r} is open-ended: it has no last "
+            "arrival round — bound the run with an explicit max_rounds"
+        )
+
+    def total_demand(self) -> float:
+        raise ConfigurationError(
+            f"scenario {self.name!r} is open-ended: total demand is "
+            "unbounded — size capacity from expected_concurrency instead"
+        )
+
+    def stream_demand(self) -> float:
+        """Cycles per round one stream needs at dedicated speed."""
+        return scaled_config(scale=self.scale, seed=self.seed).period
+
+    def expected_concurrency(self, round_index: int) -> float:
+        """Little's-law concurrency estimate at ``round_index``."""
+        return self.rate(round_index) * self.lifetime.mean_lifetime()
+
+    def peak_rate(self) -> float:
+        """Upper bound of :meth:`rate` (subclasses know their shape)."""
+        raise NotImplementedError
+
+    def trough_rate(self) -> float:
+        """Lower bound of :meth:`rate` (subclasses know their shape)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DiurnalScenario(OpenEndedScenario):
+    """Sinusoidal day/night load: trough at round 0, one full cycle
+    every ``period_rounds`` rounds."""
+
+    base_rate: float = 0.2
+    peak: float = 0.6
+    period_rounds: int = 120
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base_rate < 0 or self.peak < self.base_rate:
+            raise ConfigurationError("need 0 <= base_rate <= peak")
+        if self.period_rounds < 2:
+            raise ConfigurationError("period_rounds must be >= 2")
+
+    def rate(self, round_index: int) -> float:
+        phase = 2.0 * math.pi * round_index / self.period_rounds
+        swing = (1.0 - math.cos(phase)) / 2.0
+        return self.base_rate + (self.peak - self.base_rate) * swing
+
+    def peak_rate(self) -> float:
+        return self.peak
+
+    def trough_rate(self) -> float:
+        return self.base_rate
+
+
+@dataclass(frozen=True)
+class FlashCrowdScenario(OpenEndedScenario):
+    """Flat baseline plus a short multiplicative spike."""
+
+    base_rate: float = 0.25
+    crowd_round: int = 40
+    crowd_rate: float = 2.0
+    crowd_width: int = 4
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base_rate < 0 or self.crowd_rate < self.base_rate:
+            raise ConfigurationError("need 0 <= base_rate <= crowd_rate")
+        if self.crowd_round < 0 or self.crowd_width < 1:
+            raise ConfigurationError(
+                "crowd_round must be >= 0 and crowd_width >= 1"
+            )
+
+    def rate(self, round_index: int) -> float:
+        if self.crowd_round <= round_index < self.crowd_round + self.crowd_width:
+            return self.crowd_rate
+        return self.base_rate
+
+    def peak_rate(self) -> float:
+        return self.crowd_rate
+
+    def trough_rate(self) -> float:
+        return self.base_rate
+
+
+@dataclass(frozen=True)
+class DriftScenario(OpenEndedScenario):
+    """Slow linear ramp from ``start_rate`` to ``end_rate`` over
+    ``drift_rounds`` rounds, flat afterwards."""
+
+    start_rate: float = 0.15
+    end_rate: float = 0.6
+    drift_rounds: int = 200
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.start_rate < 0 or self.end_rate < 0:
+            raise ConfigurationError("rates must be >= 0")
+        if self.drift_rounds < 1:
+            raise ConfigurationError("drift_rounds must be >= 1")
+
+    def rate(self, round_index: int) -> float:
+        frac = min(1.0, round_index / self.drift_rounds)
+        return self.start_rate + (self.end_rate - self.start_rate) * frac
+
+    def peak_rate(self) -> float:
+        return max(self.start_rate, self.end_rate)
+
+    def trough_rate(self) -> float:
+        return min(self.start_rate, self.end_rate)
+
+
+# ----------------------------------------------------------------------
+# registry-facing generators
+# ----------------------------------------------------------------------
+
+def diurnal_live(
+    base_rate: float = 0.2,
+    peak: float = 0.6,
+    period_rounds: int = 120,
+    scale: int = 20,
+    loop_frames: int = 24,
+    seed: int = 7,
+    classes: tuple[str, ...] = (),
+    lifetime: IdleDeparture | None = None,
+) -> DiurnalScenario:
+    """The diurnal sinusoid as a single-pool (fleet) scenario."""
+    return DiurnalScenario(
+        name=f"diurnal[{base_rate}..{peak}/{period_rounds}]",
+        base_rate=base_rate,
+        peak=peak,
+        period_rounds=period_rounds,
+        scale=scale,
+        loop_frames=loop_frames,
+        seed=seed,
+        classes=tuple(classes),
+        lifetime=lifetime if lifetime is not None else IdleDeparture(),
+    )
+
+
+def flash_crowd_live(
+    base_rate: float = 0.25,
+    crowd_round: int = 40,
+    crowd_rate: float = 2.0,
+    crowd_width: int = 4,
+    scale: int = 20,
+    loop_frames: int = 24,
+    seed: int = 7,
+    classes: tuple[str, ...] = (),
+    lifetime: IdleDeparture | None = None,
+) -> FlashCrowdScenario:
+    """Flash crowd on an always-on baseline (fleet topology)."""
+    return FlashCrowdScenario(
+        name=f"flash-live[{base_rate}+{crowd_rate}@{crowd_round}]",
+        base_rate=base_rate,
+        crowd_round=crowd_round,
+        crowd_rate=crowd_rate,
+        crowd_width=crowd_width,
+        scale=scale,
+        loop_frames=loop_frames,
+        seed=seed,
+        classes=tuple(classes),
+        lifetime=lifetime if lifetime is not None else IdleDeparture(),
+    )
+
+
+def drift_live(
+    start_rate: float = 0.15,
+    end_rate: float = 0.6,
+    drift_rounds: int = 200,
+    scale: int = 20,
+    loop_frames: int = 24,
+    seed: int = 7,
+    classes: tuple[str, ...] = (),
+    lifetime: IdleDeparture | None = None,
+) -> DriftScenario:
+    """Slow load drift (fleet topology)."""
+    return DriftScenario(
+        name=f"drift[{start_rate}->{end_rate}/{drift_rounds}]",
+        start_rate=start_rate,
+        end_rate=end_rate,
+        drift_rounds=drift_rounds,
+        scale=scale,
+        loop_frames=loop_frames,
+        seed=seed,
+        classes=tuple(classes),
+        lifetime=lifetime if lifetime is not None else IdleDeparture(),
+    )
+
+
+def _clusterize(
+    arrivals: OpenEndedScenario,
+    shards: int,
+    shard_capacity: float | None,
+    provision_concurrency: float | None,
+) -> ClusterScenario:
+    """Wrap an open-ended arrival process into a shard topology.
+
+    ``shard_capacity`` sets each shard's budget directly; otherwise
+    ``provision_concurrency`` (streams the whole cluster should carry
+    at dedicated speed) is converted via the per-stream demand.  With
+    neither, the cluster is statically provisioned for the *peak*
+    expected concurrency — the baseline an autoscaler is measured
+    against.
+    """
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    if shard_capacity is None:
+        if provision_concurrency is None:
+            provision_concurrency = (
+                arrivals.peak_rate() * arrivals.lifetime.mean_lifetime()
+            )
+        if provision_concurrency <= 0:
+            raise ConfigurationError(
+                "need shard_capacity or a positive provision_concurrency"
+            )
+        total = provision_concurrency * arrivals.stream_demand()
+        shard_capacity = total / shards
+    if shard_capacity <= 0:
+        raise ConfigurationError("shard_capacity must be positive")
+    return ClusterScenario(
+        name=f"{arrivals.name}@{shards}x{shard_capacity:.3g}",
+        arrivals=arrivals,
+        shard_capacities=(float(shard_capacity),) * shards,
+    )
+
+
+def diurnal_cluster(
+    shards: int = 2,
+    shard_capacity: float | None = None,
+    provision_concurrency: float | None = None,
+    **kwargs,
+) -> ClusterScenario:
+    """Diurnal always-on load over ``shards`` equal pools."""
+    return _clusterize(
+        diurnal_live(**kwargs), shards, shard_capacity, provision_concurrency
+    )
+
+
+def flash_crowd_cluster(
+    shards: int = 2,
+    shard_capacity: float | None = None,
+    provision_concurrency: float | None = None,
+    **kwargs,
+) -> ClusterScenario:
+    """Flash-crowd-on-baseline load over ``shards`` equal pools."""
+    return _clusterize(
+        flash_crowd_live(**kwargs), shards, shard_capacity, provision_concurrency
+    )
+
+
+def drift_cluster(
+    shards: int = 2,
+    shard_capacity: float | None = None,
+    provision_concurrency: float | None = None,
+    **kwargs,
+) -> ClusterScenario:
+    """Slow-drift always-on load over ``shards`` equal pools."""
+    return _clusterize(
+        drift_live(**kwargs), shards, shard_capacity, provision_concurrency
+    )

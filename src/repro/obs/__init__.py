@@ -25,6 +25,7 @@ from repro.obs.events import (
     RejectEvent,
     RenegotiateEvent,
     RoundEvent,
+    ScaleEvent,
     StructuredEventLog,
     event_from_dict,
     event_to_line,
@@ -41,6 +42,9 @@ from repro.obs.invariants import (
     InvariantObserver,
     InvariantViolationError,
     MigrationHeadroom,
+    PacingDegrade,
+    PacingScaleCooldown,
+    ScaleConservation,
     Violation,
     register_invariant,
 )
@@ -72,11 +76,15 @@ __all__ = [
     "MetricsRegistry",
     "MigrateEvent",
     "MigrationHeadroom",
+    "PacingDegrade",
+    "PacingScaleCooldown",
     "PerfObserver",
     "PreemptEvent",
     "RejectEvent",
     "RenegotiateEvent",
     "RoundEvent",
+    "ScaleConservation",
+    "ScaleEvent",
     "StructuredEventLog",
     "TelemetryObserver",
     "Violation",

@@ -140,6 +140,21 @@ class RenegotiateEvent(Event):
 
 
 @dataclass(frozen=True)
+class ScaleEvent(Event):
+    """An autoscaler action was applied (``shard`` is always ``None``:
+    a scale action is cluster-wide, its per-pool effects arrive as
+    capacity / migrate events in the same round)."""
+
+    action: str
+    sources: tuple
+    capacities: tuple
+    created: tuple
+    reason: str
+
+    kind = "scale"
+
+
+@dataclass(frozen=True)
 class DepartEvent(Event):
     """A stream finished, with its whole quality timeline.
 
@@ -171,6 +186,7 @@ EVENT_TYPES = {
         RejectEvent,
         MigrateEvent,
         RenegotiateEvent,
+        ScaleEvent,
         DepartEvent,
     )
 }
@@ -201,6 +217,9 @@ def event_from_dict(data: dict) -> Event:
         )
     if cls is DepartEvent:
         payload["quality_timeline"] = tuple(payload["quality_timeline"])
+    if cls is ScaleEvent:
+        for key in ("sources", "capacities", "created"):
+            payload[key] = tuple(payload[key])
     return cls(**payload)
 
 
@@ -317,6 +336,14 @@ class StructuredEventLog(RoundObserver):
         self._emit(RenegotiateEvent(
             round=round_index, shard=shard_id, stream=stream_id,
             old_target=old_target, new_target=new_target,
+        ))
+
+    def on_scale(self, action, round_index):
+        self._emit(ScaleEvent(
+            round=round_index, shard=None, action=action.kind,
+            sources=tuple(action.shards),
+            capacities=tuple(action.capacities),
+            created=tuple(action.created), reason=action.reason,
         ))
 
     def on_depart(self, outcome, round_index, shard_id=None):

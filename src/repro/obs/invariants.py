@@ -16,7 +16,14 @@ under a safety harness:
   holds: after any move the destination's committed qmin demand still
   fits its nominal capacity, moves reference streams actually resident
   on the source, and departures happen from the pool the ledger
-  believes the stream lives on.
+  believes the stream lives on;
+* ``scale-conservation`` — autoscaling changes total capacity only by
+  explicit, declared provisioning: splits and merges conserve exactly,
+  created and retired shards declare their capacities before the next
+  round;
+* ``pacing-degrade`` / ``pacing-scale-cooldown`` — the graceful-pacing
+  contracts: renegotiation steps stay bounded and never flutter, scale
+  actions stay spaced and never add capacity into a still-settling dip.
 
 :class:`InvariantObserver` runs a set of invariants over a run and
 either records violations (``enforce=False``, the ledger mode) or
@@ -349,6 +356,242 @@ class MigrationHeadroom(Invariant):
             )
 
 
+class ScaleConservation(Invariant):
+    """Total capacity changes only by explicit, declared provisioning.
+
+    The autoscaler contract (PR-9): every :class:`ScaleAction
+    <repro.horizon.autoscaler.ScaleAction>` the runner applies must
+
+    * reference shards the ledger knows (by their last ``on_capacity``
+      declaration);
+    * conserve capacity *exactly* for ``split`` (the parts sum to the
+      source) and ``merge`` (the merged shard gets the sources' sum);
+    * pre-announce every shard it creates (``action.created``) and
+      retires, and follow up with matching ``on_capacity`` declarations
+      — created shards at their exact capacity, retired shards at zero
+      — before the next round or scale action.
+
+    Anything else — a shard resized without a declaration, a split that
+    leaks cycles, a created shard that never shows up — is a silent
+    capacity change, exactly what this law forbids.
+    """
+
+    name = "scale-conservation"
+    description = "scale actions conserve declared capacity exactly"
+    rel_tol = 1e-9
+    abs_tol = 1e-6
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._capacity: dict = {}
+        #: shard -> capacity it must declare (0.0 = retirement pending)
+        self._pending: dict = {}
+
+    def _drain_pending(self, round_index) -> None:
+        for shard_id, expected in sorted(self._pending.items()):
+            self.violation(
+                f"scale action promised a capacity declaration of "
+                f"{expected!r} that never arrived",
+                round_index=round_index, shard_id=shard_id,
+            )
+        self._pending.clear()
+
+    def on_round(self, round_index, allocations, capacity, shard_id=None):
+        if self._pending:
+            self._drain_pending(round_index)
+
+    def on_scale(self, action, round_index):
+        if self._pending:
+            self._drain_pending(round_index)
+        for shard_id in action.shards:
+            if shard_id not in self._capacity:
+                self.violation(
+                    f"{action.kind} references unknown shard",
+                    round_index=round_index, shard_id=shard_id,
+                )
+                return
+        if action.kind == "split":
+            source = self._capacity[action.shards[0]]
+            if not math.isclose(
+                sum(action.capacities), source,
+                rel_tol=self.rel_tol, abs_tol=self.abs_tol,
+            ):
+                self.violation(
+                    f"split parts sum to {sum(action.capacities)!r}, "
+                    f"source capacity is {source!r}",
+                    round_index=round_index, shard_id=action.shards[0],
+                )
+        merged = sum(self._capacity[s] for s in action.shards)
+        if action.kind == "merge" and action.capacities:
+            if not math.isclose(
+                action.capacities[0], merged,
+                rel_tol=self.rel_tol, abs_tol=self.abs_tol,
+            ):
+                self.violation(
+                    f"merge declares {action.capacities[0]!r}, sources "
+                    f"sum to {merged!r}",
+                    round_index=round_index, shard_id=action.shards[0],
+                )
+        expected_created = {
+            "add": list(action.capacities),
+            "split": list(action.capacities),
+            "merge": [merged],
+            "remove": [],
+        }[action.kind]
+        if len(action.created) != len(expected_created):
+            self.violation(
+                f"{action.kind} creates {len(expected_created)} "
+                f"shard(s) but announced {len(action.created)}",
+                round_index=round_index,
+            )
+            return
+        for shard_id, capacity in zip(action.created, expected_created):
+            self._pending[shard_id] = capacity
+        if action.kind in ("remove", "split", "merge"):
+            for shard_id in action.shards:
+                self._pending[shard_id] = 0.0
+
+    def on_capacity(self, capacity, round_index, shard_id=None):
+        if shard_id in self._pending:
+            expected = self._pending.pop(shard_id)
+            if not math.isclose(
+                capacity, expected,
+                rel_tol=self.rel_tol, abs_tol=self.abs_tol,
+            ):
+                self.violation(
+                    f"declared capacity {capacity!r}, scale action "
+                    f"promised {expected!r}",
+                    round_index=round_index, shard_id=shard_id,
+                )
+            if expected == 0.0:
+                self._capacity.pop(shard_id, None)
+                return
+        self._capacity[shard_id] = capacity
+
+    def finalize(self) -> None:
+        self._drain_pending(None)
+
+
+class PacingDegrade(Invariant):
+    """Quality renegotiation is paced: bounded steps, no oscillation.
+
+    The degrade-then-recover contract: a single renegotiation never
+    moves a stream's target by more than ``max_step`` (no cliff-edge
+    drops, no catch-up bursts restoring everything at once), and a
+    stream never reverses direction *twice in a row* within ``min_gap``
+    rounds of the preceding step.  One quick reversal is a legitimate
+    correction — an up-step that overshoots gets walked back the next
+    congested round — but a second quick flip means the controller is
+    chasing noise, not load (with the built-in step policy this only
+    happens when both ``patience`` and ``recovery_patience`` sit below
+    the gap, the flutter-prone configuration this law exists to catch).
+    """
+
+    name = "pacing-degrade"
+    description = "renegotiation steps are bounded and never flutter"
+    max_step = 0.35
+    min_gap = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: stream -> (last step round, direction, last flip was quick)
+        self._last: dict[str, tuple[int, int, bool]] = {}
+
+    def on_renegotiate(
+        self, stream_id, old_target, new_target, round_index, shard_id=None
+    ):
+        step = new_target - old_target
+        if abs(step) > self.max_step + 1e-9:
+            self.violation(
+                f"step {step:+.3f} exceeds the pacing bound "
+                f"{self.max_step}",
+                round_index=round_index, shard_id=shard_id,
+                stream_id=stream_id,
+            )
+        direction = 1 if step > 0 else -1
+        last = self._last.get(stream_id)
+        quick_flip = (
+            last is not None
+            and last[1] != direction
+            and round_index - last[0] < self.min_gap
+        )
+        if quick_flip and last[2]:
+            self.violation(
+                f"second direction flip in a row within {self.min_gap} "
+                f"round(s) ({last[1]:+d} -> {direction:+d} after "
+                f"{round_index - last[0]} round(s)) — the target is "
+                "oscillating, not degrading gracefully",
+                round_index=round_index, shard_id=shard_id,
+                stream_id=stream_id,
+            )
+        self._last[stream_id] = (round_index, direction, quick_flip)
+
+
+class PacingScaleCooldown(Invariant):
+    """Scale actions are paced: spaced out, and never scale-up into a
+    still-settling capacity dip.
+
+    Two laws: consecutive scale actions sit at least
+    ``min_action_gap`` rounds apart (an autoscaler reacting faster
+    than sessions can renegotiate is thrashing), and no capacity is
+    *added* (``add`` / ``split``) within ``dip_settle`` rounds of a
+    capacity dip — after an outage the fleet must degrade gracefully
+    and recover, not mask the dip with an immediate catch-up burst of
+    provisioning the next window would tear back down.
+    """
+
+    name = "pacing-scale-cooldown"
+    description = "scale actions are spaced; no scale-up into a fresh dip"
+    min_action_gap = 8
+    dip_settle = 8
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._capacity: dict = {}
+        self._scaling: set = set()
+        self._last_action: int | None = None
+        self._last_dip: int | None = None
+
+    def on_scale(self, action, round_index):
+        if (
+            self._last_action is not None
+            and round_index - self._last_action < self.min_action_gap
+        ):
+            self.violation(
+                f"scale action only {round_index - self._last_action} "
+                f"round(s) after the previous one (min gap "
+                f"{self.min_action_gap})",
+                round_index=round_index,
+            )
+        if (
+            action.kind in ("add", "split")
+            and self._last_dip is not None
+            and round_index - self._last_dip < self.dip_settle
+        ):
+            self.violation(
+                f"{action.kind} within {round_index - self._last_dip} "
+                f"round(s) of a capacity dip (settle window "
+                f"{self.dip_settle})",
+                round_index=round_index,
+            )
+        self._last_action = round_index
+        # declarations triggered by this action are provisioning, not
+        # dips — remember who is about to re-declare
+        self._scaling.update(action.shards)
+        self._scaling.update(action.created)
+
+    def on_capacity(self, capacity, round_index, shard_id=None):
+        previous = self._capacity.get(shard_id)
+        if shard_id in self._scaling:
+            self._scaling.discard(shard_id)
+        elif previous is not None and 0.0 < capacity < previous:
+            self._last_dip = round_index
+        if capacity <= 0.0:
+            self._capacity.pop(shard_id, None)
+        else:
+            self._capacity[shard_id] = capacity
+
+
 #: Named invariants, the ledger's registry (a standard policy family).
 INVARIANTS = PolicyRegistry("invariant")
 
@@ -362,6 +605,9 @@ register_invariant("grant-conservation", GrantConservation)
 register_invariant("class-floors", ClassFloors)
 register_invariant("exactly-once-rejection", ExactlyOnceRejection)
 register_invariant("migration-headroom", MigrationHeadroom)
+register_invariant("scale-conservation", ScaleConservation)
+register_invariant("pacing-degrade", PacingDegrade)
+register_invariant("pacing-scale-cooldown", PacingScaleCooldown)
 
 
 class InvariantObserver(RoundObserver):
@@ -448,6 +694,10 @@ class InvariantObserver(RoundObserver):
     def on_capacity(self, capacity, round_index, shard_id=None):
         for invariant in self.invariants:
             invariant.on_capacity(capacity, round_index, shard_id)
+
+    def on_scale(self, action, round_index):
+        for invariant in self.invariants:
+            invariant.on_scale(action, round_index)
 
     # ------------------------------------------------------------------
 

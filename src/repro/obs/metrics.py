@@ -145,6 +145,10 @@ class TelemetryObserver(RoundObserver):
         self._index = 0
         self._acc = self._fresh()
         self._closed = False
+        # stream -> class name, learned at admission; renegotiation
+        # hooks only carry the stream id, so per-class densities (the
+        # SLA-weighted scale trigger) need this whole-run map
+        self._class_of: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # window bookkeeping
@@ -163,6 +167,10 @@ class TelemetryObserver(RoundObserver):
             "preempted": 0,
             "departed": 0,
             "renegotiations": 0,
+            "renegotiations_up": 0,
+            "renegotiations_down": 0,
+            "class_renegotiations": {},
+            "scale_actions": 0,
             "class_quality": {},
         }
 
@@ -206,6 +214,13 @@ class TelemetryObserver(RoundObserver):
             "renegotiation_density": (
                 acc["renegotiations"] / rounds if rounds else 0.0
             ),
+            "renegotiations_up": acc["renegotiations_up"],
+            "renegotiations_down": acc["renegotiations_down"],
+            "renegotiation_density_by_class": {
+                name: count / rounds if rounds else 0.0
+                for name, count in sorted(acc["class_renegotiations"].items())
+            },
+            "scale_actions": acc["scale_actions"],
             "mean_quality": (
                 sum(qualities) / len(qualities) if qualities else None
             ),
@@ -243,6 +258,9 @@ class TelemetryObserver(RoundObserver):
     def on_admit(self, spec, round_index, shard_id=None):
         self._bump(round_index)
         self._acc["admitted"] += 1
+        self._class_of[spec.name] = (
+            spec.service_class if spec.service_class is not None else "unclassed"
+        )
         self.registry.counter("admitted").inc()
 
     def on_reject(self, spec, round_index, shard_id=None):
@@ -263,8 +281,21 @@ class TelemetryObserver(RoundObserver):
         self, stream_id, old_target, new_target, round_index, shard_id=None
     ):
         self._bump(round_index)
-        self._acc["renegotiations"] += 1
+        acc = self._acc
+        acc["renegotiations"] += 1
+        # the direction matters to a capacity controller: down-steps are
+        # degradation under pressure, up-steps are headroom-driven
+        # recovery (PR-4's scale signals)
+        direction = "renegotiations_up" if new_target > old_target else (
+            "renegotiations_down"
+        )
+        acc[direction] += 1
+        key = self._class_of.get(stream_id, "unclassed")
+        acc["class_renegotiations"][key] = (
+            acc["class_renegotiations"].get(key, 0) + 1
+        )
         self.registry.counter("renegotiations").inc()
+        self.registry.counter(direction).inc()
 
     def on_depart(self, outcome, round_index, shard_id=None):
         self._bump(round_index)
@@ -283,6 +314,11 @@ class TelemetryObserver(RoundObserver):
     def on_capacity(self, capacity, round_index, shard_id=None):
         self._bump(round_index)
         self.registry.counter("capacity_events").inc()
+
+    def on_scale(self, action, round_index):
+        self._bump(round_index)
+        self._acc["scale_actions"] += 1
+        self.registry.counter("scale_actions").inc()
 
     # ------------------------------------------------------------------
     # queries

@@ -42,6 +42,7 @@ from repro.serving.observers import (
 from repro.serving.registry import (
     ADMISSIONS,
     ARBITERS,
+    AUTOSCALERS,
     BALANCERS,
     MIGRATIONS,
     OBSERVERS,
@@ -53,6 +54,7 @@ from repro.serving.registry import (
     PolicyRegistry,
     register_admission,
     register_arbiter,
+    register_autoscaler,
     register_balancer,
     register_migration,
     register_observer,
@@ -60,6 +62,7 @@ from repro.serving.registry import (
     register_renegotiation,
     register_scenario,
     register_service_class,
+    scenario_open_ended,
     scenario_topology,
 )
 from repro.serving.result import ServingResult
@@ -75,6 +78,7 @@ from repro.serving.spec import CONSTRAINT_MODES, PolicySpec, ServingSpec
 __all__ = [
     "ADMISSIONS",
     "ARBITERS",
+    "AUTOSCALERS",
     "BALANCERS",
     "CONSTRAINT_MODES",
     "CountingObserver",
@@ -97,6 +101,7 @@ __all__ = [
     "phase_timing_enabled",
     "register_admission",
     "register_arbiter",
+    "register_autoscaler",
     "register_balancer",
     "register_migration",
     "register_observer",
@@ -104,6 +109,7 @@ __all__ = [
     "register_renegotiation",
     "register_scenario",
     "register_service_class",
+    "scenario_open_ended",
     "scenario_topology",
     "serve",
 ]

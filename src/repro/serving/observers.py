@@ -90,6 +90,17 @@ class RoundObserver:
         """A pool's nominal capacity was declared (run start) or
         changed (mid-run capacity event)."""
 
+    def on_scale(self, action, round_index):
+        """An autoscaler's :class:`~repro.horizon.autoscaler.ScaleAction`
+        is about to be applied (cluster only).
+
+        Fires *before* the cluster mutates, with ``action.created``
+        filled in with the ids of the shards the action will create; the
+        ``on_capacity`` declarations for created (positive capacity) and
+        retired (zero capacity) shards, and the ``on_migrate`` events
+        for relocated sessions, follow in the same round.
+        """
+
     def on_phase(self, phase, seconds, round_index, shard_id=None):
         """One timed phase of one round took ``seconds`` of wall clock.
 
@@ -131,6 +142,7 @@ class CountingObserver(RoundObserver):
         self.renegotiated = 0
         self.departed = 0
         self.capacity_events = 0
+        self.scaled = 0
 
     def on_round(self, round_index, allocations, capacity, shard_id=None):
         self.rounds += 1
@@ -158,6 +170,9 @@ class CountingObserver(RoundObserver):
     def on_capacity(self, capacity, round_index, shard_id=None):
         self.capacity_events += 1
 
+    def on_scale(self, action, round_index):
+        self.scaled += 1
+
     def counts(self) -> dict:
         return {
             "rounds": self.rounds,
@@ -168,4 +183,5 @@ class CountingObserver(RoundObserver):
             "renegotiated": self.renegotiated,
             "departed": self.departed,
             "capacity_events": self.capacity_events,
+            "scaled": self.scaled,
         }

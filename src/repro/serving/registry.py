@@ -156,6 +156,7 @@ SCENARIOS = PolicyRegistry("scenario")
 SLA_CLASSES = PolicyRegistry("service class")
 RENEGOTIATIONS = PolicyRegistry("renegotiation")
 OBSERVERS = PolicyRegistry("observer")
+AUTOSCALERS = PolicyRegistry("autoscaler")
 
 #: Topologies a scenario generator may declare (and a spec may request).
 TOPOLOGIES = ("fleet", "cluster")
@@ -241,27 +242,47 @@ def register_observer(name, factory=None, *, overwrite=False, **meta):
     return OBSERVERS.register(name, factory, overwrite=overwrite, **meta)
 
 
-def register_scenario(name, factory=None, *, topology="fleet", overwrite=False):
+def register_autoscaler(name, factory=None, *, overwrite=False, **meta):
+    """Register an :class:`~repro.horizon.autoscaler.Autoscaler` factory.
+
+    ``sla_aware=True`` metadata works as in :func:`register_arbiter`
+    (the spec's catalog reaches the policy's ``classes`` kwarg, so its
+    pressure weighting follows the run's declared tiers).
+    """
+    return AUTOSCALERS.register(name, factory, overwrite=overwrite, **meta)
+
+
+def register_scenario(
+    name, factory=None, *, topology="fleet", open_ended=False, overwrite=False
+):
     """Register a scenario generator, tagged with its topology.
 
     ``topology="fleet"`` generators return a
     :class:`~repro.streams.scenarios.Scenario`; ``"cluster"`` generators
     return a :class:`~repro.cluster.scenarios.ClusterScenario`.  Specs
     check the tag eagerly so a cluster workload can never be handed to a
-    fleet runner.
+    fleet runner.  ``open_ended=True`` marks always-on generators whose
+    arrivals never stop: a spec naming one must set an explicit
+    ``max_rounds`` (checked eagerly too).
     """
     if topology not in TOPOLOGIES:
         raise ConfigurationError(
             f"scenario topology must be one of {TOPOLOGIES}, got {topology!r}"
         )
     return SCENARIOS.register(
-        name, factory, overwrite=overwrite, topology=topology
+        name, factory, overwrite=overwrite, topology=topology,
+        open_ended=bool(open_ended),
     )
 
 
 def scenario_topology(name: str) -> str:
     """Which topology the named scenario generator serves."""
     return SCENARIOS.meta(name)["topology"]
+
+
+def scenario_open_ended(name: str) -> bool:
+    """Is the named generator an always-on (never-ending) source?"""
+    return bool(SCENARIOS.meta(name).get("open_ended", False))
 
 
 # ----------------------------------------------------------------------
@@ -349,4 +370,45 @@ register_scenario("shard-outage", shard_outage, topology="cluster")
 register_scenario("flash-crowd-split", flash_crowd_split, topology="cluster")
 register_scenario(
     "sla-skewed-cluster", sla_skewed_cluster, topology="cluster"
+)
+
+
+# the always-on sources live one layer up (repro.horizon imports the
+# streams/cluster/sla/obs leaves, never this module), so importing them
+# here — after every registry exists — closes the loop without a cycle
+from repro.horizon.sources import (  # noqa: E402
+    diurnal_cluster,
+    diurnal_live,
+    drift_cluster,
+    drift_live,
+    flash_crowd_cluster,
+    flash_crowd_live,
+)
+
+
+def _signal_autoscaler(**kwargs):
+    from repro.horizon.autoscaler import SignalAutoscaler
+
+    return SignalAutoscaler(**kwargs)
+
+
+register_autoscaler("signal", _signal_autoscaler, sla_aware=True)
+
+register_scenario(
+    "diurnal-live", diurnal_live, topology="fleet", open_ended=True
+)
+register_scenario(
+    "flash-live", flash_crowd_live, topology="fleet", open_ended=True
+)
+register_scenario(
+    "drift-live", drift_live, topology="fleet", open_ended=True
+)
+register_scenario(
+    "diurnal-cluster", diurnal_cluster, topology="cluster", open_ended=True
+)
+register_scenario(
+    "flash-cluster", flash_crowd_cluster, topology="cluster", open_ended=True
+)
+register_scenario(
+    "drift-cluster", drift_cluster, topology="cluster", open_ended=True
 )

@@ -25,6 +25,7 @@ from repro.errors import ConfigurationError
 from repro.serving.registry import (
     ADMISSIONS,
     ARBITERS,
+    AUTOSCALERS,
     BALANCERS,
     MIGRATIONS,
     OBSERVERS,
@@ -125,6 +126,7 @@ def build_runner(
     renegotiation = _optional(
         RENEGOTIATIONS, spec.renegotiation, "renegotiation"
     )
+    max_rounds = 100_000 if spec.max_rounds is None else spec.max_rounds
     if spec.topology == "fleet":
         # the scenario is only needed to resolve a relative capacity
         if scenario is None and isinstance(spec.capacity, Mapping):
@@ -145,7 +147,7 @@ def build_runner(
             admission=admission,
             constraint_mode=spec.constraint_mode,
             granularity=spec.granularity,
-            max_rounds=spec.max_rounds,
+            max_rounds=max_rounds,
             observers=observers,
             service_classes=classes,
             renegotiation=renegotiation,
@@ -166,7 +168,9 @@ def build_runner(
         migration=_optional(MIGRATIONS, spec.migration, "migration",
                             classes=classes),
         balancer=_optional(BALANCERS, spec.balancer, "balancer"),
-        max_rounds=spec.max_rounds,
+        autoscaler=_optional(AUTOSCALERS, spec.autoscaler, "autoscaler",
+                             classes=classes),
+        max_rounds=max_rounds,
         observers=observers,
         arbiter=_create(ARBITERS, spec.arbiter, "arbiter", classes=classes),
         admission=admission,

@@ -27,12 +27,16 @@ Field reference
 ``placement``      cluster only, required: arrival routing policy
 ``migration``      cluster only, optional: between-round rebalancing
 ``balancer``       cluster only, optional: cross-shard headroom lending
+``autoscaler``     cluster only, optional: telemetry-driven elastic
+                   provisioning (see ``AUTOSCALERS``)
 ``constraint_mode``/``granularity``  per-session controller settings
 ``engine``         session execution engine: ``"scalar"`` (reference),
                    ``"vectorized"`` (numpy batch stepping), or
                    ``"parallel"`` (vectorized + concurrent shard
                    stepping); all engines are bit-identical
-``max_rounds``     runaway-scenario safety valve
+``max_rounds``     the run's stop horizon; defaults to a 100k-round
+                   safety valve for finite scenarios, **required
+                   explicitly** for open-ended (always-on) ones
 ``service_classes``  SLA catalog: class dicts, registered names, or
                    ``ServiceClass`` instances; forwarded to every
                    SLA-aware policy and to the runners' sessions
@@ -57,6 +61,7 @@ from repro.errors import ConfigurationError
 from repro.serving.registry import (
     ADMISSIONS,
     ARBITERS,
+    AUTOSCALERS,
     BALANCERS,
     MIGRATIONS,
     OBSERVERS,
@@ -64,6 +69,7 @@ from repro.serving.registry import (
     RENEGOTIATIONS,
     SCENARIOS,
     TOPOLOGIES,
+    scenario_open_ended,
     scenario_topology,
 )
 from repro.sla.classes import ServiceClass, resolve_classes
@@ -153,10 +159,11 @@ class ServingSpec:
     placement: PolicySpec | None = None
     migration: PolicySpec | None = None
     balancer: PolicySpec | None = None
+    autoscaler: PolicySpec | None = None
     constraint_mode: str = "both"
     granularity: int = 1
     engine: str = "scalar"
-    max_rounds: int = 100_000
+    max_rounds: int | None = None
     service_classes: tuple[ServiceClass, ...] | None = None
     renegotiation: PolicySpec | None = None
     observers: tuple[PolicySpec, ...] = ()
@@ -171,7 +178,8 @@ class ServingSpec:
                 self, name, PolicySpec.coerce(getattr(self, name), name)
             )
         for name in (
-            "admission", "placement", "migration", "balancer", "renegotiation",
+            "admission", "placement", "migration", "balancer",
+            "autoscaler", "renegotiation",
         ):
             value = getattr(self, name)
             if value is not None:
@@ -214,6 +222,9 @@ class ServingSpec:
             self.balancer, BALANCERS, "balancer", self.topology, "cluster"
         )
         _check_policy(
+            self.autoscaler, AUTOSCALERS, "autoscaler", self.topology, "cluster"
+        )
+        _check_policy(
             self.renegotiation,
             RENEGOTIATIONS,
             "renegotiation",
@@ -237,13 +248,19 @@ class ServingSpec:
             raise ConfigurationError(
                 f"engine: must be one of {ENGINES}, got {self.engine!r}"
             )
-        if (
+        if self.max_rounds is not None and (
             isinstance(self.max_rounds, bool)
             or not isinstance(self.max_rounds, int)
             or self.max_rounds < 1
         ):
             raise ConfigurationError(
                 f"max_rounds: must be an integer >= 1, got {self.max_rounds!r}"
+            )
+        if self.max_rounds is None and scenario_open_ended(self.scenario.name):
+            raise ConfigurationError(
+                f"max_rounds: scenario {self.scenario.name!r} is "
+                "open-ended (arrivals never stop on their own) — the run "
+                "needs an explicit max_rounds stop condition"
             )
 
     def _validate_observers(self) -> None:
@@ -360,6 +377,7 @@ class ServingSpec:
             "placement": policy(self.placement),
             "migration": policy(self.migration),
             "balancer": policy(self.balancer),
+            "autoscaler": policy(self.autoscaler),
             "constraint_mode": self.constraint_mode,
             "granularity": self.granularity,
             "engine": self.engine,

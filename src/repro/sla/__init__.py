@@ -43,6 +43,7 @@ from repro.sla.migration import SlaMigration
 from repro.sla.placement import SlaPlacement
 from repro.sla.renegotiation import StepRenegotiation
 from repro.sla.scenarios import gold_rush, sla_churn, sla_skewed_cluster
+from repro.sla.signals import class_pressure_weights, weighted_pressure
 
 __all__ = [
     "BRONZE",
@@ -58,8 +59,10 @@ __all__ = [
     "StepRenegotiation",
     "UNCLASSED",
     "class_of",
+    "class_pressure_weights",
     "gold_rush",
     "resolve_classes",
     "sla_churn",
     "sla_skewed_cluster",
+    "weighted_pressure",
 ]

@@ -1,0 +1,48 @@
+"""SLA-weighted scale signals: class pressure for the autoscaler.
+
+The autoscaler (:mod:`repro.horizon.autoscaler`) reads per-class
+renegotiation densities out of telemetry windows; this module maps
+those densities onto a single *pressure* scalar using each class's
+declared arbitration weight, so a window of gold down-steps pushes the
+cluster toward scale-up three times harder than the same density of
+bronze down-steps.  Keeping the weighting here (and not hard-coded in
+the controller) means the scale trigger follows whatever catalog the
+run was configured with — custom classes weigh in with their own
+declared weights, unclassed streams at the neutral 1.0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.sla.classes import UNCLASSED, resolve_classes
+
+
+def class_pressure_weights(classes=None) -> dict[str, float]:
+    """``{class_name: arbitration_weight}`` for a ``classes`` kwarg.
+
+    Accepts everything :func:`repro.sla.classes.resolve_classes` does
+    (``None`` for the standard catalog, mappings, iterables of classes /
+    dicts / registered names).  Always includes the neutral
+    ``"unclassed"`` entry so density maps can be folded without key
+    checks.
+    """
+    catalog = resolve_classes(classes)
+    weights = {name: cls.weight for name, cls in catalog.items()}
+    weights.setdefault(UNCLASSED.name, UNCLASSED.weight)
+    return weights
+
+
+def weighted_pressure(
+    density_by_class: Mapping[str, float], weights: Mapping[str, float]
+) -> float:
+    """Fold a per-class density map into one weighted pressure scalar.
+
+    ``sum(weight * density)`` over every class in the density map;
+    classes absent from ``weights`` count at the neutral 1.0 (same
+    best-effort stance as :func:`repro.sla.classes.class_of`).
+    """
+    return sum(
+        weights.get(name, UNCLASSED.weight) * density
+        for name, density in density_by_class.items()
+    )

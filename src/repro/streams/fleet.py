@@ -368,6 +368,7 @@ class FleetRunner:
             constraint_mode=self.constraint_mode,
             granularity=self.granularity,
             weight=spec.weight,
+            lifetime=getattr(spec, "lifetime", None),
             **session_sla_kwargs(
                 spec, self.service_classes, self.renegotiation
             ),
@@ -399,18 +400,38 @@ class FleetRunner:
         spec_of: dict[str, StreamSpec] = {}
         admitted_round: dict[str, int] = {}
         round_index = 0
+        # open-ended scenarios never drain on their own: max_rounds is
+        # their *stop condition* — arrivals end there, live cameras are
+        # shut down and the backlog drains — so the runaway safety
+        # valve has to sit past the drain tail instead
+        open_ended = bool(getattr(scenario, "open_ended", False))
+        stop_round = self.max_rounds
+        round_limit = 2 * self.max_rounds + 1000 if open_ended else self.max_rounds
         while (
-            round_index <= scenario.last_arrival_round
+            (
+                round_index < stop_round
+                if open_ended
+                else round_index <= scenario.last_arrival_round
+            )
             or active
             or (self.admission is not None and self.admission.queue)
         ):
-            if round_index >= self.max_rounds:
+            if round_index >= round_limit:
                 raise ConfigurationError(
                     f"fleet exceeded max_rounds={self.max_rounds}"
+                    + (" (open-ended drain did not converge)" if open_ended else "")
                 )
+            draining = open_ended and round_index >= stop_round
+            if draining:
+                # stop condition reached: no new frames, no new streams
+                for session in active:
+                    session.shutdown()
+                if self.admission is not None and self.admission.queue:
+                    self._flush_queue(result, round_index)
             # 1. arrivals through admission
             t0 = perf_counter() if timed else 0.0
-            for spec in scenario.arrivals_at(round_index):
+            arrivals = [] if draining else scenario.arrivals_at(round_index)
+            for spec in arrivals:
                 if self.admission is None:
                     self._admit(spec, round_index, active, spec_of, admitted_round)
                     continue
@@ -514,6 +535,16 @@ class FleetRunner:
             round_index += 1
         result.rounds = round_index
         return result
+
+    def _flush_queue(self, result: FleetResult, round_index: int) -> None:
+        """Reject every queued spec — arrivals are over, the run drains."""
+        queue = self.admission.queue
+        while queue:
+            spec = queue.popleft()
+            self.admission.rejected_count += 1
+            result.rejected.append(spec)
+            for observer in self.observers:
+                observer.on_reject(spec, round_index)
 
     def _admit(
         self,

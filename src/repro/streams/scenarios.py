@@ -37,12 +37,68 @@ MIX_SCALES = (15, 20, 27)
 
 
 @dataclass(frozen=True)
+class IdleDeparture:
+    """When an *unbounded* stream hangs up (see ``StreamSpec.lifetime``).
+
+    An always-on source has no clip length to end it, so departure is
+    behavioural: each round the session draws a private activity sample
+    in [0, 1) and smooths it with an EWMA (``alpha``).  Once the
+    smoothed activity stays below ``threshold`` for ``patience``
+    consecutive rounds (after a ``min_rounds`` warm-up grace) the camera
+    stops and the session drains its backlog like any finite clip.
+    ``max_lifetime`` is a hard cap so a pathological draw cannot outlive
+    the run.  All draws come from the session's seeded RNG, so departure
+    rounds are deterministic and engine-independent.
+    """
+
+    alpha: float = 0.3
+    threshold: float = 0.4
+    patience: int = 3
+    min_rounds: int = 8
+    max_lifetime: int = 10_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError("lifetime alpha must be in (0, 1]")
+        if not 0.0 < self.threshold < 1.0:
+            raise ConfigurationError("lifetime threshold must be in (0, 1)")
+        if self.patience < 1:
+            raise ConfigurationError("lifetime patience must be >= 1")
+        if self.min_rounds < 1:
+            raise ConfigurationError("lifetime min_rounds must be >= 1")
+        if self.max_lifetime < self.min_rounds:
+            raise ConfigurationError(
+                "lifetime max_lifetime must be >= min_rounds"
+            )
+
+    def mean_lifetime(self) -> float:
+        """Rough expected camera lifetime in rounds (for capacity sizing).
+
+        The EWMA crosses ``threshold`` roughly geometrically once past
+        the warm-up; this closed-form estimate is intentionally crude —
+        generators use it to size shard capacities, nothing else.
+        """
+        crossing = max(self.threshold, 1e-9)
+        per_round = crossing**self.patience
+        # the 0.7 calibration factor matches the empirical mean of the
+        # smoothed process over the default parameter region
+        expected = self.min_rounds + 0.7 * self.patience / max(per_round, 1e-9)
+        return float(min(expected, self.max_lifetime))
+
+
+@dataclass(frozen=True)
 class StreamSpec:
     """One stream's arrival into the fleet.
 
     ``service_class`` names the stream's SLA tier (see
     :mod:`repro.sla.classes`); ``None`` means unclassed — SLA-aware
     policies serve it best-effort and classless policies ignore it.
+
+    ``lifetime`` switches the stream to *unbounded* mode: the camera
+    never runs out of clip (content loops over ``config.frames`` banked
+    frames) and the stream departs when the :class:`IdleDeparture`
+    policy says it went idle.  ``None`` keeps the classic finite-clip
+    semantics.
     """
 
     name: str
@@ -50,6 +106,7 @@ class StreamSpec:
     config: SimulationConfig
     weight: float = 1.0
     service_class: str | None = None
+    lifetime: IdleDeparture | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_round < 0:
@@ -61,11 +118,28 @@ class StreamSpec:
                 f"service_class must be a non-empty string or None, "
                 f"got {self.service_class!r}"
             )
+        if self.lifetime is not None and not isinstance(
+            self.lifetime, IdleDeparture
+        ):
+            raise ConfigurationError(
+                f"lifetime must be an IdleDeparture or None, "
+                f"got {self.lifetime!r}"
+            )
+
+    @property
+    def unbounded(self) -> bool:
+        return self.lifetime is not None
 
 
 @dataclass(frozen=True)
 class Scenario:
     """A named, replayable stream-arrival schedule."""
+
+    #: Finite scenarios enumerate their arrivals up front; open-ended
+    #: subclasses (see :mod:`repro.horizon.sources`) generate them
+    #: lazily per round and flip this to ``True`` so runners know the
+    #: schedule never drains on its own.
+    open_ended = False
 
     name: str
     specs: tuple[StreamSpec, ...] = field(default_factory=tuple)

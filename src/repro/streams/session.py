@@ -63,11 +63,22 @@ class EncodeJob:
     timing back to :meth:`StreamSession.complete_job`.  ``budget`` is
     the frame's *work* budget in processor cycles (wall budget times
     this round's speed).
+
+    ``bank_frame`` is the physical index into the session's pre-drawn
+    :class:`~repro.engine.bank.FrameTimeBank` — identical to ``frame``
+    for finite clips, ``frame % clip_length`` for unbounded sessions
+    whose content loops.  Engines must index banked times with it, not
+    with ``frame``.
     """
 
     frame: int
     start: float
     budget: float
+    bank_frame: int = -1
+
+    def __post_init__(self) -> None:
+        if self.bank_frame < 0:
+            object.__setattr__(self, "bank_frame", self.frame)
 
 
 @dataclass(frozen=True)
@@ -120,6 +131,13 @@ class StreamSession:
         :class:`repro.sla.renegotiation.StepRenegotiation`) moving
         ``quality_target`` with observed starvation/headroom; all its
         counters live on this session.
+    lifetime:
+        Optional :class:`repro.streams.scenarios.IdleDeparture` policy
+        switching the session to *unbounded* mode: the camera keeps
+        producing frames past the clip length (content loops over the
+        banked frames) until the idle detector — or an explicit
+        :meth:`shutdown` — stops it, after which the backlog drains
+        like any finite clip.  ``None`` keeps finite-clip semantics.
     """
 
     def __init__(
@@ -134,6 +152,7 @@ class StreamSession:
         quality_target: float = math.nan,
         quality_floor: float = 0.0,
         renegotiation=None,
+        lifetime=None,
     ) -> None:
         if weight <= 0:
             raise ConfigurationError(f"stream weight must be positive, got {weight}")
@@ -161,6 +180,7 @@ class StreamSession:
         self.renegotiation_count = 0
         self._starved_rounds = 0
         self._headroom_rounds = 0
+        self.lifetime = lifetime
 
         self.simulation = simulation_for(config)
         if constraint_mode not in self.simulation._rows:
@@ -195,6 +215,16 @@ class StreamSession:
         self._total_granted = 0.0
         self._total_used = 0.0
 
+        # unbounded mode: activity draws are a private seeded stream so
+        # the departure round is deterministic whichever engine steps us
+        if lifetime is not None:
+            self._activity_rng = self.simulation._rng(
+                f"stream-activity-{stream_id}"
+            )
+            self._activity_ewma = 1.0
+            self._idle_rounds = 0
+        self._camera_stop: int | None = None
+
     # ------------------------------------------------------------------
     # fleet-facing signals
     # ------------------------------------------------------------------
@@ -206,11 +236,28 @@ class StreamSession:
 
     @property
     def frame_count(self) -> int:
+        """Physical clip length — the loop length for unbounded sessions."""
         return len(self.simulation.contents)
 
     @property
+    def unbounded(self) -> bool:
+        return self.lifetime is not None
+
+    @property
     def finished(self) -> bool:
-        """All frames arrived, encoded-or-skipped, and signal-processed."""
+        """All frames arrived, encoded-or-skipped, and signal-processed.
+
+        Unbounded sessions finish only once the camera has stopped
+        (idle detection or :meth:`shutdown`) and the backlog + signal
+        pass have caught up to the stop point.
+        """
+        if self.unbounded:
+            stop = self._camera_stop
+            return (
+                stop is not None
+                and not self._pending
+                and self._signal_next >= stop
+            )
         return (
             self._round >= self.frame_count
             and not self._pending
@@ -286,7 +333,12 @@ class StreamSession:
             return None
         self._pending.popleft()
         wall_budget = arrival + self._horizon - start
-        return EncodeJob(frame=frame, start=start, budget=wall_budget * speed)
+        return EncodeJob(
+            frame=frame,
+            start=start,
+            budget=wall_budget * speed,
+            bank_frame=self._content_index(frame),
+        )
 
     def complete_job(self, job: EncodeJob, timing, speed: float) -> None:
         """Fold one encoded frame's timing back into session state."""
@@ -312,7 +364,7 @@ class StreamSession:
         arrived: int | None = None
         arrival_skipped = False
         drain_limit: float | None = None
-        if round_index < self.frame_count:
+        if self._arrivals_open(round_index):
             arrived = round_index
             if len(self._pending) >= self.config.buffer_capacity:
                 arrival_skipped = True
@@ -323,6 +375,57 @@ class StreamSession:
             # camera stopped: drain the backlog, one round per period
             drain_limit = arrival_limit + self.config.period
         return arrived, arrival_skipped, drain_limit
+
+    def _arrivals_open(self, round_index: int) -> bool:
+        """Does the camera deliver a frame this round?
+
+        Finite clips stop at ``frame_count``.  Unbounded sessions stop
+        when the idle detector trips (or :meth:`shutdown` already
+        stopped them); the per-round activity draw happens here, once
+        per round, inside the session's own protocol — which is what
+        keeps departure rounds identical across engines.
+        """
+        if self.lifetime is None:
+            return round_index < self.frame_count
+        if self._camera_stop is not None:
+            return False
+        policy = self.lifetime
+        activity = float(self._activity_rng.random())
+        a = policy.alpha
+        self._activity_ewma = a * activity + (1.0 - a) * self._activity_ewma
+        if round_index >= policy.min_rounds and (
+            self._activity_ewma < policy.threshold
+        ):
+            self._idle_rounds += 1
+        else:
+            self._idle_rounds = 0
+        if self._idle_rounds >= policy.patience or (
+            round_index >= policy.max_lifetime
+        ):
+            self._camera_stop = round_index
+            return False
+        return True
+
+    def shutdown(self) -> bool:
+        """Stop an unbounded camera so the session drains and finishes.
+
+        Runners call this when an open-ended run hits its
+        ``max_rounds`` stop condition.  Returns ``True`` when it
+        actually stopped the camera.  Finite-clip sessions are a no-op:
+        their signal pass expects every frame below ``frame_count`` to
+        arrive, so cutting them short would leave them unfinished
+        forever — they drain on their own schedule instead.
+        """
+        if self.lifetime is None or self._camera_stop is not None:
+            return False
+        self._camera_stop = self._round
+        return True
+
+    def _content_index(self, frame: int) -> int:
+        """Map a timeline frame to its physical banked/content index."""
+        if self.lifetime is None:
+            return frame
+        return frame % self.frame_count
 
     def finish_round(
         self,
@@ -357,7 +460,7 @@ class StreamSession:
             timing = scalar_decide(
                 self._kernel,
                 self.granularity,
-                *self._bank.frame_lists(job.frame),
+                *self._bank.frame_lists(job.bank_frame),
                 job.budget,
             )
             self.complete_job(job, timing, speed)
@@ -419,7 +522,7 @@ class StreamSession:
         while self._signal_next in self._resolved:
             index = self._signal_next
             resolved = self._resolved.pop(index)
-            content = self.simulation.contents[index]
+            content = self.simulation.contents[self._content_index(index)]
             if resolved is None:
                 outcome = self._encoder.skip_frame(content)
                 record = FrameRecord(

@@ -20,7 +20,11 @@ import pytest
 
 from repro.obs import InvariantObserver, StructuredEventLog
 from repro.serving import serve
-from repro.serving.registry import SCENARIOS, scenario_topology
+from repro.serving.registry import (
+    SCENARIOS,
+    scenario_open_ended,
+    scenario_topology,
+)
 
 ENGINES_UNDER_TEST = ("vectorized", "parallel")
 
@@ -48,6 +52,32 @@ SCENARIO_KWARGS = {
         "base": 2, "crowd": 4, "crowd_round": 2, "frames": 4,
     },
     "sla-skewed-cluster": {"streams": 8, "frames": 5},
+    # open-ended sources run under an explicit max_rounds stop (added
+    # by spec_for); small rate profiles keep the drain tail short
+    "diurnal-live": {
+        "base_rate": 0.4, "peak": 1.2, "period_rounds": 8,
+        "loop_frames": 5,
+    },
+    "flash-live": {
+        "base_rate": 0.3, "crowd_round": 3, "crowd_rate": 2.0,
+        "crowd_width": 2, "loop_frames": 5,
+    },
+    "drift-live": {
+        "start_rate": 0.3, "end_rate": 1.0, "drift_rounds": 8,
+        "loop_frames": 5,
+    },
+    "diurnal-cluster": {
+        "shards": 2, "base_rate": 0.4, "peak": 1.2, "period_rounds": 8,
+        "loop_frames": 5, "provision_concurrency": 3.0,
+    },
+    "flash-cluster": {
+        "shards": 2, "base_rate": 0.3, "crowd_round": 3, "crowd_rate": 2.0,
+        "crowd_width": 2, "loop_frames": 5, "provision_concurrency": 3.0,
+    },
+    "drift-cluster": {
+        "shards": 2, "start_rate": 0.3, "end_rate": 1.0, "drift_rounds": 8,
+        "loop_frames": 5, "provision_concurrency": 3.0,
+    },
 }
 
 FLEET_NAMES = sorted(
@@ -90,6 +120,17 @@ def spec_for(name, engine):
         spec["balancer"] = "headroom"
         if name == "sla-skewed-cluster":
             spec |= {"arbiter": "sla-weighted", "placement": "sla-aware"}
+        if scenario_open_ended(name):
+            # under-provisioned + gated so queues form and the signal
+            # autoscaler has pressure to act on mid-run
+            spec["admission"] = "feasibility"
+            spec["autoscaler"] = {
+                "name": "signal",
+                "kwargs": {"window": 4, "cooldown": 8, "sustain": 1,
+                           "max_shards": 4},
+            }
+    if scenario_open_ended(name):
+        spec["max_rounds"] = 12
     return spec
 
 

@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "serving_spec.py",
     "sla_serving.py",
     "telemetry.py",
+    "always_on.py",
 ]
 HEAVY_EXAMPLES = ["video_encoder.py", "soft_deadlines.py"]
 
