@@ -1,0 +1,173 @@
+"""SLO bench: burn-rate alerting separates elastic from starved serving.
+
+The observability tentpole's acceptance experiment, run on the same
+3x-diurnal workload as the autoscale bench with a declared gold
+quality SLO:
+
+* **autoscaled** — the elastic deployment from ``test_bench_autoscale``
+  (2 shards + the signal autoscaler).  It must end the horizon with
+  the error budget intact and **zero** burn-rate alerts: scaling out
+  under renegotiation pressure keeps every gold session above the SLO
+  floor.
+* **static-trough** — the same cluster frozen at trough provisioning
+  (``base_rate * mean_lifetime`` concurrent streams).  Every diurnal
+  peak starves it, so the gold SLO must fire a burn-rate alert, and
+  incident attribution walking the causal traces over the burn window
+  must rank **capacity-shortfall** as the top cause — sustained
+  demand above a flat capacity line, not a burst, storm, or scale lag.
+
+Both runs execute under enforce-mode invariants (including
+``slo-budget-conservation``, active because the spec declares SLOs)
+with full tracing attached; headline numbers land in
+``BENCH_slo.json`` and are gated via ``baselines.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import InvariantObserver, StructuredEventLog, TraceObserver
+from repro.serving import serve
+
+from conftest import run_once, write_bench_trajectory
+from test_bench_autoscale import AUTOSCALER, WORKLOAD, build_spec
+
+#: The declared objective: 95% of gold departures at or above 0.35
+#: normalized quality.  The floor sits between the deployments'
+#: operating points — the autoscaled cluster's worst gold session
+#: clears it, the trough-provisioned cluster's peak-hour sessions do
+#: not — so the alerting contrast is a property of capacity, not of a
+#: cherry-picked threshold.  The window pair is the SRE fast/slow
+#: shape scaled to the 100-round diurnal period.
+SLOS = [
+    {
+        "name": "gold-quality",
+        "objective": "quality",
+        "service_class": "gold",
+        "threshold": 0.35,
+        "target": 0.95,
+        "fast_window": 15,
+        "slow_window": 60,
+        "burn_threshold": 2.0,
+    }
+]
+
+#: Trough provisioning: ``base_rate * mean_lifetime`` concurrent
+#: streams — what the diurnal *minimum* needs (the cluster scenario's
+#: default provisions for peak).
+MEAN_LIFETIME = 40.8125
+TROUGH = WORKLOAD["base_rate"] * MEAN_LIFETIME
+
+
+def build_slo_spec(provision=None, autoscaler=None):
+    document = build_spec(shards=2, provision=provision, autoscaler=autoscaler)
+    document["slos"] = SLOS
+    return document
+
+
+def serve_traced(document):
+    """One deployment: event log + enforce invariants + causal traces.
+
+    ``serve`` auto-attaches the :class:`~repro.obs.slo.SloObserver`
+    (the spec declares SLOs) and wires its alerts into the event log;
+    ``slos`` is forwarded to the invariant suite explicitly so
+    ``slo-budget-conservation`` runs in enforce mode here too.
+    """
+    log = StructuredEventLog(timelines=False)
+    invariants = InvariantObserver(enforce=True, slos=SLOS)
+    tracer = TraceObserver()
+    result = serve(document, observers=[log, invariants, tracer])
+    return result, invariants
+
+
+def test_bench_slo_burn_alerting(benchmark, results_dir):
+    """Gold burn-rate alerts: silent when elastic, firing when starved."""
+
+    def run():
+        auto = serve_traced(
+            build_slo_spec(provision=8.0, autoscaler=AUTOSCALER)
+        )
+        trough = serve_traced(build_slo_spec(provision=TROUGH))
+        return auto, trough
+
+    (auto, auto_inv), (trough, trough_inv) = run_once(benchmark, run)
+
+    auto_report = auto.slo_reports()[0]
+    trough_report = trough.slo_reports()[0]
+    auto_firing = [a for a in auto.alerts() if a.state == "firing"]
+    trough_firing = [a for a in trough.alerts() if a.state == "firing"]
+    trough_incidents = trough.incidents()
+    top_causes = [i.top_cause for i in trough_incidents]
+    violations = len(auto_inv.violations) + len(trough_inv.violations)
+
+    print(
+        f"\ngold SLO ({SLOS[0]['threshold']} norm in "
+        f">= {SLOS[0]['target']:.0%} of departures), "
+        f"{WORKLOAD['base_rate']}->{WORKLOAD['peak']} streams/round:"
+    )
+    for name, report, firing in (
+        ("autoscaled", auto_report, auto_firing),
+        ("static-trough", trough_report, trough_firing),
+    ):
+        print(
+            f"  {name:13s} units={report.units:3d} "
+            f"bad={report.bad_units:3d} "
+            f"budget_remaining={report.budget_remaining:+.3f} "
+            f"alerts={len(firing)}"
+        )
+    print(
+        f"  trough incidents: {len(trough_incidents)}, "
+        f"top causes {top_causes}, invariant violations {violations}"
+    )
+
+    # --- the acceptance bar -------------------------------------------
+    # elastic capacity never burns the budget
+    assert auto_firing == []
+    assert auto_report.bad_units == 0
+    assert auto_report.budget_remaining == 1.0
+    # the starved deployment fires, and attribution blames capacity
+    assert len(trough_firing) >= 1
+    assert trough_report.budget_remaining < 0.0
+    assert len(trough_incidents) == len(trough_firing)
+    assert all(kind == "capacity-shortfall" for kind in top_causes)
+    # every incident is backed by counterfactual shares that sum sanely
+    for incident in trough_incidents:
+        assert incident.causes[0].share >= max(
+            cause.share for cause in incident.causes
+        )
+        assert incident.bad_units > 0
+    # the books balance under enforcement the whole way
+    assert violations == 0
+
+    with open(results_dir / "slo.csv", "w") as handle:
+        handle.write(
+            "deployment,units,bad_units,budget_remaining,alerts,"
+            "time_to_first_burn\n"
+        )
+        for name, report, firing in (
+            ("autoscaled", auto_report, auto_firing),
+            ("static-trough", trough_report, trough_firing),
+        ):
+            handle.write(
+                f"{name},{report.units},{report.bad_units},"
+                f"{report.budget_remaining:.4f},{len(firing)},"
+                f"{report.time_to_first_burn}\n"
+            )
+
+    payload = {
+        "auto_units": auto_report.units,
+        "auto_bad_units": auto_report.bad_units,
+        "auto_budget_remaining": round(auto_report.budget_remaining, 4),
+        "auto_alerts": len(auto_firing),
+        "trough_units": trough_report.units,
+        "trough_bad_units": trough_report.bad_units,
+        "trough_budget_remaining": round(trough_report.budget_remaining, 4),
+        "trough_alerts": len(trough_firing),
+        "trough_time_to_first_burn": trough_report.time_to_first_burn,
+        "trough_incidents": len(trough_incidents),
+        "trough_top_cause": top_causes[0] if top_causes else None,
+        "invariant_violations": violations,
+    }
+    path = write_bench_trajectory("slo", payload)
+    print(f"  trajectory -> {path}")
+    print(json.dumps(payload, indent=2, sort_keys=True))

@@ -1,0 +1,208 @@
+"""SLO burn-rate alerting + incident attribution demo.
+
+The observability loop, end to end, on the always-on diurnal workload:
+a gold quality SLO is declared **on the spec**, the serving run
+evaluates it as a rolling error budget with SRE-style fast/slow
+burn-rate windows, and when the budget burns the causal traces are
+walked backward to rank what actually caused it.
+
+Two deployments of the same 3x diurnal swing make the contrast:
+
+* **autoscaled** — a 2-shard fleet plus the signal autoscaler.  The
+  budget survives the whole horizon and no alert fires.
+* **static-trough** — the same cluster frozen at what the diurnal
+  *minimum* needs.  Every peak starves it: the gold SLO fires, and
+  attribution blames the capacity shortfall (sustained renegotiation
+  pressure under a flat capacity line — not a burst, storm, or
+  scale lag).
+
+The starved run's causal traces and machine-readable incident report
+are written as deterministic JSON artifacts (CI uploads them), and the
+invariant ledger — including ``slo-budget-conservation`` — runs in
+enforce mode the whole way when ``--enforce`` is set.
+
+Usage::
+
+    PYTHONPATH=src python examples/slo_incidents.py
+    PYTHONPATH=src python examples/slo_incidents.py --enforce \\
+        --trace-out traces.jsonl --incidents-out incidents.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import repro
+from repro.analysis.report import incident_table, slo_table
+from repro.obs import (
+    InvariantObserver,
+    TraceObserver,
+    attribute_incidents,
+    canonical_document,
+)
+
+#: Three diurnal periods, arrivals swinging 0.25 -> 0.75 streams/round
+#: (the always-on bench workload).
+MAX_ROUNDS = 300
+WORKLOAD = {
+    "base_rate": 0.25,
+    "peak": 0.75,
+    "period_rounds": 100,
+    "loop_frames": 24,
+    "scale": 20,
+    "seed": 11,
+    "classes": ("gold", "bronze"),
+}
+
+#: What the diurnal *minimum* needs: base_rate x mean session lifetime
+#: concurrent streams.  Freezing the cluster here guarantees peak-hour
+#: starvation.
+MEAN_LIFETIME = 40.8125
+TROUGH = WORKLOAD["base_rate"] * MEAN_LIFETIME
+
+#: The contract: 95% of gold departures at or above 0.35 normalized
+#: quality, alerting when both burn windows exceed 2x the budget rate.
+SLOS = [
+    {
+        "name": "gold-quality",
+        "objective": "quality",
+        "service_class": "gold",
+        "threshold": 0.35,
+        "target": 0.95,
+        "fast_window": 15,
+        "slow_window": 60,
+        "burn_threshold": 2.0,
+    }
+]
+
+AUTOSCALER = {
+    "name": "signal",
+    "kwargs": {
+        "window": 10,
+        "cooldown": 10,
+        "sustain": 1,
+        "up_pressure": 0.22,
+        "min_shards": 2,
+        "max_shards": 6,
+        "down_utilization": 0.5,
+        "down_quality": 5.0,
+    },
+}
+
+
+def build_spec(provision=None, autoscaler=None) -> dict:
+    kwargs = dict(WORKLOAD, shards=2)
+    if provision is not None:
+        kwargs["provision_concurrency"] = provision
+    document = {
+        "topology": "cluster",
+        "scenario": {"name": "diurnal-cluster", "kwargs": kwargs},
+        "placement": "least-loaded",
+        "balancer": "headroom",
+        "arbiter": "sla-weighted",
+        "admission": {"name": "priority", "kwargs": {"queue_limit": 4}},
+        "renegotiation": {
+            "name": "step",
+            "kwargs": {"patience": 2, "recovery_patience": 2, "step": 0.15},
+        },
+        "service_classes": ["gold", "bronze"],
+        "engine": "vectorized",
+        "max_rounds": MAX_ROUNDS,
+        "slos": SLOS,
+    }
+    if autoscaler is not None:
+        document["autoscaler"] = autoscaler
+    return document
+
+
+def serve_traced(document, enforce):
+    """One deployment: causal traces + (optionally enforced) ledger.
+
+    ``serve`` auto-attaches the SLO engine because the spec declares
+    ``slos``; the same declaration is forwarded to the invariant suite
+    so ``slo-budget-conservation`` audits the budget books live.
+    """
+    tracer = TraceObserver()
+    invariants = InvariantObserver(
+        enforce=enforce,
+        classes=document["service_classes"],
+        slos=document["slos"],
+    )
+    result = repro.serve(document, observers=[tracer, invariants])
+    return result, tracer, invariants
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--enforce", action="store_true",
+        help="abort at the first invariant violation instead of recording",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the starved run's causal traces as JSONL",
+    )
+    parser.add_argument(
+        "--incidents-out", metavar="PATH", default=None,
+        help="write the starved run's attributed incidents as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    runs = {}
+    for name, spec in (
+        ("autoscaled", build_spec(provision=8.0, autoscaler=AUTOSCALER)),
+        ("static-trough", build_spec(provision=TROUGH)),
+    ):
+        result, tracer, invariants = serve_traced(spec, args.enforce)
+        runs[name] = (result, tracer, invariants)
+        report = result.slo_reports()[0]
+        firing = [a for a in result.alerts() if a.state == "firing"]
+        print(f"== {name}: gold SLO over {result.rounds} rounds ==")
+        print(slo_table(result.slo_reports()))
+        print(f"  burn-rate alerts fired: {len(firing)}")
+        if invariants.violations:
+            failures += 1
+            for violation in invariants.violations:
+                print(f"  invariant violated: {violation}")
+        if name == "autoscaled" and (firing or report.bad_units):
+            failures += 1
+            print("  FAIL: the elastic deployment burned its budget")
+        if name == "static-trough" and not firing:
+            failures += 1
+            print("  FAIL: the starved deployment never alerted")
+        print()
+
+    result, tracer, _ = runs["static-trough"]
+    incidents = result.incidents()
+    print(f"== incident report: static-trough ({len(incidents)} "
+          f"fired alert{'' if len(incidents) == 1 else 's'}) ==")
+    print(incident_table(incidents))
+    top = [incident.top_cause for incident in incidents]
+    if top and all(kind == "capacity-shortfall" for kind in top):
+        print("attribution: every burn traces to the capacity shortfall")
+    else:
+        failures += 1
+        print(f"FAIL: expected capacity-shortfall attribution, got {top}")
+    # attribute_incidents is pure: recomputing from the observers gives
+    # identical records to the result's view
+    slo_observer = next(
+        o for o in result.observers if hasattr(o, "trackers")
+    )
+    assert tuple(incidents) == attribute_incidents(slo_observer, tracer)
+
+    if args.trace_out:
+        path = tracer.dump(args.trace_out)
+        print(f"wrote {len(tracer.records())} causal traces to {path}")
+    if args.incidents_out:
+        Path(args.incidents_out).write_text(canonical_document(
+            [incident.to_dict() for incident in incidents]
+        ) + "\n")
+        print(f"wrote {len(incidents)} incidents to {args.incidents_out}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,6 +71,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="time controller phases and print the breakdown",
     )
     serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record one causal span tree per session and write the "
+        "trace log to PATH as deterministic JSONL",
+    )
+    serve.add_argument(
+        "--incidents",
+        action="store_true",
+        help="attribute every fired SLO burn-rate alert to ranked "
+        "causes and print the incident report (the spec must declare "
+        "slos; implies collecting traces)",
+    )
+    serve.add_argument(
+        "--incidents-out",
+        metavar="PATH",
+        default=None,
+        help="also write the incident report to PATH as canonical JSON "
+        "(implies --incidents)",
+    )
+    serve.add_argument(
         "--timeline",
         metavar="N",
         type=int,
@@ -99,7 +120,9 @@ def _read_spec(source: str):
 def _cmd_serve(args) -> int:
     import repro
     from repro.analysis.report import (
+        incident_table,
         invariant_table,
+        slo_table,
         telemetry_table,
         timeline_table,
     )
@@ -107,8 +130,12 @@ def _cmd_serve(args) -> int:
         InvariantObserver,
         InvariantViolationError,
         PerfObserver,
+        SloObserver,
         StructuredEventLog,
         TelemetryObserver,
+        TraceObserver,
+        attribute_incidents,
+        canonical_document,
     )
     from repro.serving.observers import RoundObserver
     from repro.serving.runner import _coerce_spec
@@ -116,11 +143,14 @@ def _cmd_serve(args) -> int:
     class Watch(RoundObserver):
         """Live progress: the in-flight telemetry window, one JSON
         line to stderr every ``every`` rounds (first shard's hook
-        only — ``current()`` is a mid-window snapshot either way)."""
+        only — ``current()`` is a mid-window snapshot either way).
+        With SLOs declared, each line also carries every objective's
+        current error-budget remaining and alert state under ``slo``."""
 
-        def __init__(self, telemetry, every):
+        def __init__(self, telemetry, every, slo=None):
             self.telemetry = telemetry
             self.every = every
+            self.slo = slo
             self._printed = -1
 
         def on_round(self, round_index, allocations, capacity,
@@ -133,18 +163,25 @@ def _cmd_serve(args) -> int:
                 and round_index != self._printed
             ):
                 self._printed = round_index
-                line = json.dumps(
-                    {"round": round_index, **self.telemetry.current()},
-                    sort_keys=True,
-                )
+                snapshot = {"round": round_index, **self.telemetry.current()}
+                if self.slo is not None:
+                    snapshot["slo"] = self.slo.status()
+                line = json.dumps(snapshot, sort_keys=True)
                 print(line, file=sys.stderr, flush=True)
 
     spec = _coerce_spec(_read_spec(args.spec))
     if args.watch < 0:
         raise ConfigurationError("--watch must be >= 0")
+    want_incidents = args.incidents or args.incidents_out is not None
+    if want_incidents and spec.slos is None:
+        raise ConfigurationError(
+            "--incidents needs the spec to declare slos (there is no "
+            "error budget to attribute without an objective)"
+        )
 
     observers = []
     telemetry = event_log = invariants = perf = None
+    slo_observer = tracer = None
     if args.metrics_window:
         telemetry = TelemetryObserver(window=args.metrics_window)
         observers.append(telemetry)
@@ -152,15 +189,26 @@ def _cmd_serve(args) -> int:
         # --watch alone still needs a telemetry source to snapshot
         telemetry = TelemetryObserver(window=args.watch)
         observers.append(telemetry)
+    if spec.slos is not None:
+        # built here rather than by serve()'s auto-attach so --watch
+        # and the incident report read the same tracker state
+        slo_observer = SloObserver(
+            spec.slos, classes=spec.service_classes
+        )
+        observers.append(slo_observer)
     if args.watch:
-        observers.append(Watch(telemetry, args.watch))
+        observers.append(Watch(telemetry, args.watch, slo=slo_observer))
     if args.events or args.timeline:
         event_log = StructuredEventLog(path=args.events)
         observers.append(event_log)
+    if args.trace or want_incidents:
+        tracer = TraceObserver(path=args.trace)
+        observers.append(tracer)
     if args.invariants != "off":
         invariants = InvariantObserver(
             enforce=args.invariants == "enforce",
             classes=spec.service_classes,
+            slos=spec.slos,
         )
         observers.append(invariants)
     if args.perf:
@@ -184,6 +232,24 @@ def _cmd_serve(args) -> int:
     if telemetry is not None:
         print(f"\ntelemetry windows ({telemetry.window} rounds each):")
         print(telemetry_table(telemetry.windows))
+    if slo_observer is not None:
+        print("\nslo error budgets:")
+        print(slo_table(slo_observer.reports()))
+    if want_incidents:
+        incidents = attribute_incidents(slo_observer, tracer)
+        print("\nincident report ({} fired alert{}):".format(
+            len(incidents), "" if len(incidents) == 1 else "s"
+        ))
+        if incidents:
+            print(incident_table(incidents))
+        else:
+            print("  no burn-rate alerts fired; nothing to attribute")
+        if args.incidents_out:
+            Path(args.incidents_out).write_text(canonical_document(
+                [incident.to_dict() for incident in incidents]
+            ) + "\n")
+            print(f"wrote {len(incidents)} incidents to "
+                  f"{args.incidents_out}")
     if invariants is not None:
         print("\ninvariant ledger:")
         print(invariant_table(invariants))
@@ -192,6 +258,8 @@ def _cmd_serve(args) -> int:
         print(perf.report())
     if args.events:
         print(f"\nwrote {len(event_log.events)} events to {args.events}")
+    if args.trace:
+        print(f"\nwrote {len(tracer.records())} traces to {args.trace}")
 
     if invariants is not None and invariants.violations:
         for violation in invariants.violations:

@@ -353,6 +353,114 @@ def invariant_table(observer) -> str:
     return _aligned_table(["invariant", "status", "count", "description"], rows)
 
 
+def slo_table(reports) -> str:
+    """End-of-run SLO error budgets as one row per objective.
+
+    ``reports`` is a sequence of :class:`repro.obs.slo.SloReport`
+    (``SloObserver.reports()`` or
+    ``ServingResult.slo_reports()``).  ``budget`` is the fraction of
+    the run's error budget still unspent (negative = overspent);
+    ``ttfb`` is the round the first burn-rate alert fired.
+    """
+    def opt(value, spec):
+        return "-" if value is None else format(value, spec)
+
+    rows = [
+        [
+            report.name,
+            report.objective,
+            report.service_class or "-",
+            opt(report.threshold, ".2f"),
+            f"{report.target:.3f}",
+            str(report.units),
+            str(report.bad_units),
+            f"{report.budget_remaining:.3f}",
+            str(report.alerts),
+            opt(report.time_to_first_burn, "d"),
+            f"{report.worst_fast_burn:.1f}/{report.worst_slow_burn:.1f}",
+            "ok" if report.met else "MISSED",
+        ]
+        for report in reports
+    ]
+    headers = [
+        "slo", "objective", "class", "thresh", "target", "units", "bad",
+        "budget", "alerts", "ttfb", "burn(f/s)", "status",
+    ]
+    return _aligned_table(headers, rows)
+
+
+def trace_table(traces, limit: int | None = None) -> str:
+    """Per-session causal traces as one row per session.
+
+    ``traces`` is a sequence of :class:`repro.obs.tracing.TraceRecord`
+    (``TraceObserver.records()``, ``ServingResult.traces()``, or
+    :func:`repro.obs.load_traces` on a JSONL file); ``limit`` keeps
+    only the first N sessions.  ``causes`` counts spans carrying a
+    causal link to a capacity or scale event.
+    """
+    traces = list(traces)
+    if limit is not None:
+        traces = traces[:limit]
+    rows = []
+    for trace in traces:
+        kinds: dict[str, int] = {}
+        caused = 0
+        for span in trace.spans:
+            kinds[span.kind] = kinds.get(span.kind, 0) + 1
+            if span.attrs.get("cause"):
+                caused += 1
+        depart = next(
+            (s for s in trace.spans if s.kind == "depart"), None
+        )
+        quality = depart.attrs.get("mean_quality") if depart else None
+        rows.append([
+            trace.stream,
+            trace.service_class or "-",
+            str(trace.arrival_round),
+            trace.outcome,
+            str(len(trace.spans)),
+            " ".join(
+                f"{kind}:{kinds[kind]}" for kind in sorted(kinds)
+            ),
+            str(caused),
+            "-" if quality is None else format(quality, ".2f"),
+        ])
+    headers = [
+        "stream", "class", "arrived", "outcome", "spans", "kinds",
+        "causes", "q",
+    ]
+    return _aligned_table(headers, rows)
+
+
+def incident_table(incidents) -> str:
+    """Attributed incidents: one row per fired alert per ranked cause.
+
+    ``incidents`` is a sequence of
+    :class:`repro.obs.attribution.Incident`
+    (:func:`repro.obs.attribute_incidents` or
+    ``ServingResult.incidents()``).
+    """
+    rows = []
+    for incident in incidents:
+        for i, cause in enumerate(incident.causes):
+            rows.append([
+                incident.slo if i == 0 else "",
+                str(incident.alert_round) if i == 0 else "",
+                (f"[{incident.window_start}, {incident.window_end}]"
+                 if i == 0 else ""),
+                f"{incident.burn_multiple:.1f}x" if i == 0 else "",
+                cause.kind,
+                f"{cause.share:.2f}",
+                str(cause.units),
+                cause.evidence,
+            ])
+    headers = [
+        "slo", "alert", "window", "burn", "cause", "share", "units",
+        "evidence",
+    ]
+    return _aligned_table(headers, rows)
+
+
 def fleet_stream_table(result) -> str:
     """Per-stream breakdown of one fleet run (label, rounds, quality)."""
     rows = []

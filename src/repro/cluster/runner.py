@@ -342,6 +342,7 @@ class ClusterRunner:
         self.autoscaler = autoscaler
         self.shard_kwargs = shard_kwargs
         self._scale_serial = 0
+        self._action_serial = 0
 
     def reset(self) -> None:
         """Restore the just-constructed state for another ``run``.
@@ -361,6 +362,7 @@ class ClusterRunner:
         if self.autoscaler is not None:
             self.autoscaler.reset()
         self._scale_serial = 0
+        self._action_serial = 0
 
     def run(
         self,
@@ -394,12 +396,14 @@ class ClusterRunner:
             shard.observers = observers
             shard.engine = self.engine
         timed = False
+        phase_observers: tuple = ()
         if observers:
             # imported lazily — the cluster layer never depends on
             # repro.serving at import time
-            from repro.serving.observers import phase_timing_enabled
+            from repro.serving.observers import phase_listeners
 
-            timed = phase_timing_enabled(observers)
+            phase_observers = phase_listeners(observers)
+            timed = bool(phase_observers)
             for shard in shards:
                 for observer in observers:
                     observer.on_capacity(
@@ -447,7 +451,7 @@ class ClusterRunner:
         try:
             round_index = self._serve_rounds(
                 scenario, shards, by_id, arrivals, horizon, timed, result,
-                executor, observers, open_ended, retired,
+                executor, observers, phase_observers, open_ended, retired,
             )
         finally:
             if executor is not None:
@@ -465,7 +469,7 @@ class ClusterRunner:
 
     def _serve_rounds(
         self, scenario, shards, by_id, arrivals, horizon, timed, result,
-        executor, observers, open_ended, retired,
+        executor, observers, phase_observers, open_ended, retired,
     ) -> int:
         """The round loop of :meth:`run`; returns the rounds served."""
         round_index = 0
@@ -515,7 +519,7 @@ class ClusterRunner:
                     shard.offer(spec, round_index)
             if timed:
                 now = perf_counter()
-                for observer in observers:
+                for observer in phase_observers:
                     observer.on_phase("placement", now - t0, round_index)
                 t0 = now
             # 3. migration
@@ -528,7 +532,7 @@ class ClusterRunner:
                             observer.on_migrate(move, round_index)
                 if timed:
                     now = perf_counter()
-                    for observer in observers:
+                    for observer in phase_observers:
                         observer.on_phase("migration", now - t0, round_index)
             # 4. queued streams that now fit start
             if not draining:
@@ -556,7 +560,7 @@ class ClusterRunner:
             )
             if timed and self.balancer is not None:
                 now = perf_counter()
-                for observer in observers:
+                for observer in phase_observers:
                     observer.on_phase("balancing", now - t0, round_index)
             result.capacity_rounds += sum(s.capacity for s in shards)
             if executor is not None:
@@ -722,7 +726,11 @@ class ClusterRunner:
             )
             if plan is None:
                 return False
-        applied = replace(action, created=tuple(s.shard_id for s in created))
+        applied = replace(
+            action, created=tuple(s.shard_id for s in created),
+            action_id=f"scale-action-{self._action_serial}",
+        )
+        self._action_serial += 1
         result.scale_actions.append(applied)
         for observer in observers:
             observer.on_scale(applied, round_index)

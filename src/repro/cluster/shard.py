@@ -128,11 +128,12 @@ class Shard:
         if self._observers:
             # imported lazily — the cluster layer never depends on
             # repro.serving at import time
-            from repro.serving.observers import phase_timing_enabled
+            from repro.serving.observers import phase_listeners
 
-            self._timed = phase_timing_enabled(self._observers)
+            self._phase_observers = phase_listeners(self._observers)
         else:
-            self._timed = False
+            self._phase_observers = ()
+        self._timed = bool(self._phase_observers)
 
     @property
     def engine(self) -> str:
@@ -407,7 +408,7 @@ class Shard:
         allocations = self.arbiter.allocate(requests, pool)
         if self._timed:
             now = perf_counter()
-            for observer in self.observers:
+            for observer in self._phase_observers:
                 observer.on_phase(
                     "arbitration", now - t0, round_index,
                     shard_id=self.shard_id,
@@ -467,7 +468,7 @@ class Shard:
         self.active = still_active
         if self._timed:
             now = perf_counter()
-            for observer in self.observers:
+            for observer in self._phase_observers:
                 observer.on_phase(
                     "step", now - t0, round_index, shard_id=self.shard_id
                 )

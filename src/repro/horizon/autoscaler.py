@@ -56,9 +56,13 @@ class ScaleAction:
       ids in ``shards``, ``capacities`` empty (the merged shard gets
       the exact sum) or a single value that must equal that sum.
 
-    ``created`` is filled in by the runner (via ``dataclasses.replace``)
-    with the ids of the shards the action creates, immediately before
-    the ``on_scale`` observers fire — policies always leave it empty.
+    ``created`` and ``action_id`` are filled in by the runner (via
+    ``dataclasses.replace``) immediately before the ``on_scale``
+    observers fire: ``created`` holds the ids of the shards the action
+    creates, ``action_id`` a deterministic per-run serial
+    (``scale-action-<n>``) that trace records use as the causal edge
+    from a migration or capacity change back to the action that forced
+    it.  Policies always leave both empty.
     """
 
     kind: str
@@ -66,6 +70,7 @@ class ScaleAction:
     capacities: tuple[float, ...] = ()
     reason: str = ""
     created: tuple[str, ...] = ()
+    action_id: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "shards", tuple(self.shards))
@@ -127,6 +132,7 @@ class ScaleAction:
             "capacities": list(self.capacities),
             "reason": self.reason,
             "created": list(self.created),
+            "action_id": self.action_id,
         }
 
 

@@ -11,11 +11,24 @@ results — the equivalence suite asserts bit-identity.
   JSONL, with a lossless loader (:func:`load_events`);
 * :class:`InvariantObserver` — the runtime invariant ledger: named
   serving laws checked live, recording or enforcing;
-* :class:`PerfObserver` — controller-phase wall-time breakdown.
+* :class:`PerfObserver` — controller-phase wall-time breakdown;
+* :class:`SloObserver` — rolling error budgets per declared
+  :class:`SloSpec`, with multi-window burn-rate :class:`AlertEvent`\\ s;
+* :class:`TraceObserver` — one causal span tree per session, linked to
+  the capacity/scale events that shaped it;
+* :func:`attribute_incidents` — joins the two into ranked
+  :class:`Incident` reports, one per fired alert.
 """
 
+from repro.obs.attribution import (
+    CAUSE_KINDS,
+    CauseShare,
+    Incident,
+    attribute_incidents,
+)
 from repro.obs.events import (
     AdmitEvent,
+    AlertEvent,
     CapacityEvent,
     DepartEvent,
     Event,
@@ -33,6 +46,13 @@ from repro.obs.events import (
     load_events,
     parse_events,
 )
+from repro.obs.export import (
+    canonical_document,
+    canonical_line,
+    clean_value,
+    export_run,
+    write_jsonl,
+)
 from repro.obs.invariants import (
     INVARIANTS,
     ClassFloors,
@@ -45,6 +65,7 @@ from repro.obs.invariants import (
     PacingDegrade,
     PacingScaleCooldown,
     ScaleConservation,
+    SloBudgetConservation,
     Violation,
     register_invariant,
 )
@@ -56,10 +77,29 @@ from repro.obs.metrics import (
     TelemetryObserver,
 )
 from repro.obs.profiling import PerfObserver
+from repro.obs.slo import (
+    SloObserver,
+    SloReport,
+    SloSpec,
+    SloTracker,
+    resolve_slos,
+)
+from repro.obs.tracing import (
+    Span,
+    TraceObserver,
+    TraceRecord,
+    load_traces,
+    parse_traces,
+    trace_to_line,
+    traces_to_jsonl,
+)
 
 __all__ = [
     "AdmitEvent",
+    "AlertEvent",
+    "CAUSE_KINDS",
     "CapacityEvent",
+    "CauseShare",
     "ClassFloors",
     "Counter",
     "DepartEvent",
@@ -70,6 +110,7 @@ __all__ = [
     "GrantConservation",
     "Histogram",
     "INVARIANTS",
+    "Incident",
     "Invariant",
     "InvariantObserver",
     "InvariantViolationError",
@@ -85,13 +126,32 @@ __all__ = [
     "RoundEvent",
     "ScaleConservation",
     "ScaleEvent",
+    "SloBudgetConservation",
+    "SloObserver",
+    "SloReport",
+    "SloSpec",
+    "SloTracker",
+    "Span",
     "StructuredEventLog",
     "TelemetryObserver",
+    "TraceObserver",
+    "TraceRecord",
     "Violation",
+    "attribute_incidents",
+    "canonical_document",
+    "canonical_line",
+    "clean_value",
     "event_from_dict",
     "event_to_line",
     "events_to_jsonl",
+    "export_run",
     "load_events",
+    "load_traces",
     "parse_events",
+    "parse_traces",
     "register_invariant",
+    "resolve_slos",
+    "trace_to_line",
+    "traces_to_jsonl",
+    "write_jsonl",
 ]

@@ -25,18 +25,12 @@ from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.obs.export import canonical_line, clean_value
 from repro.serving.observers import RoundObserver
 
-
-def _clean(value):
-    """JSON-safe copy: NaN/inf -> None, tuples -> lists, recursively."""
-    if isinstance(value, float):
-        return value if math.isfinite(value) else None
-    if isinstance(value, dict):
-        return {k: _clean(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_clean(v) for v in value]
-    return value
+#: Back-compat alias: the canonical JSON-safe copy lives in
+#: :mod:`repro.obs.export` now, shared with the trace/incident writers.
+_clean = clean_value
 
 
 @dataclass(frozen=True)
@@ -150,8 +144,31 @@ class ScaleEvent(Event):
     capacities: tuple
     created: tuple
     reason: str
+    action_id: str
 
     kind = "scale"
+
+
+@dataclass(frozen=True)
+class AlertEvent(Event):
+    """An SLO burn-rate alert transition (``shard`` is always ``None``:
+    objectives are cluster-wide).
+
+    ``state`` is ``"firing"`` (both burn windows crossed the
+    threshold, once per burn episode) or ``"resolved"`` (both back
+    under it); ``budget_remaining`` is the share of the accrued error
+    budget left at the transition (negative = overspent).  Emitted by
+    :class:`~repro.obs.slo.SloObserver`, interleaved into the event
+    stream at the round the transition was evaluated.
+    """
+
+    slo: str
+    state: str
+    fast_burn: float
+    slow_burn: float
+    budget_remaining: float
+
+    kind = "alert"
 
 
 @dataclass(frozen=True)
@@ -187,6 +204,7 @@ EVENT_TYPES = {
         MigrateEvent,
         RenegotiateEvent,
         ScaleEvent,
+        AlertEvent,
         DepartEvent,
     )
 }
@@ -225,10 +243,7 @@ def event_from_dict(data: dict) -> Event:
 
 def event_to_line(event: Event) -> str:
     """One record as its canonical JSONL line (no newline)."""
-    return json.dumps(
-        event.to_dict(), sort_keys=True, separators=(",", ":"),
-        allow_nan=False,
-    )
+    return canonical_line(event.to_dict())
 
 
 def events_to_jsonl(events) -> str:
@@ -292,6 +307,12 @@ class StructuredEventLog(RoundObserver):
                 self._handle = open(self.path, "w")
             self._handle.write(event_to_line(event) + "\n")
 
+    def record(self, event: Event) -> None:
+        """Append one externally produced record (an observer that
+        derives events — :class:`~repro.obs.slo.SloObserver`'s alerts —
+        interleaves them here at their deterministic position)."""
+        self._emit(event)
+
     def on_capacity(self, capacity, round_index, shard_id=None):
         self._emit(CapacityEvent(
             round=round_index, shard=shard_id, capacity=capacity,
@@ -344,19 +365,22 @@ class StructuredEventLog(RoundObserver):
             sources=tuple(action.shards),
             capacities=tuple(action.capacities),
             created=tuple(action.created), reason=action.reason,
+            action_id=action.action_id,
         ))
 
     def on_depart(self, outcome, round_index, shard_id=None):
         run = outcome.result
         mean = run.mean_quality()
-        timeline = (
-            tuple(
-                None if math.isnan(q) else float(q)
-                for q in run.quality_series()
+        if self.timelines:
+            # single pure-python pass: at typical timeline lengths the
+            # fixed cost of a numpy round trip (array + isnan + tolist)
+            # exceeds per-element float() conversion
+            timeline = tuple(
+                None if q != q else q
+                for q in (float(f.mean_quality) for f in run.frames)
             )
-            if self.timelines
-            else ()
-        )
+        else:
+            timeline = ()
         self._emit(DepartEvent(
             round=round_index, shard=shard_id, stream=outcome.spec.name,
             service_class=outcome.spec.service_class,

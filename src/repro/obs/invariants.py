@@ -87,6 +87,9 @@ class Invariant(RoundObserver):
         self._emit = None
         #: SLA catalog injected by the owning observer (class floors).
         self.classes = None
+        #: declared SLOs injected by the owning observer (budget laws);
+        #: ``None`` leaves SLO-dependent invariants inert.
+        self.slos = None
 
     def bind(self, emit) -> None:
         self._emit = emit
@@ -98,6 +101,13 @@ class Invariant(RoundObserver):
             invariant=self.name, detail=detail, round_index=round_index,
             shard_id=shard_id, stream_id=stream_id,
         ))
+
+    def is_active(self) -> bool:
+        """Whether the law has anything to check on this run (called
+        after the owning observer injects ``classes``/``slos``; an
+        inactive law is skipped by hook dispatch but still listed in
+        the ledger)."""
+        return True
 
     def finalize(self) -> None:
         """End-of-run accounting (run by ``InvariantObserver.close``)."""
@@ -592,6 +602,132 @@ class PacingScaleCooldown(Invariant):
             self._capacity[shard_id] = capacity
 
 
+class SloBudgetConservation(Invariant):
+    """The SLO engine's books balance, and alerts never double-fire.
+
+    Runs its own :class:`~repro.obs.slo.SloTracker` per declared
+    objective (``slos`` is injected by the owning observer; without a
+    declaration the law is inert) and checks two accounts every round:
+
+    * **conservation** — the budget accrued incrementally (one
+      ``1 - target`` credit per unit) equals consumed (the bad-unit
+      count) plus remaining (maintained by a separate incremental
+      ledger), and equals the closed form ``units * (1 - target)`` —
+      drift or double-counting on any path breaks the equation;
+    * **episode discipline** — burn-rate transitions strictly
+      alternate: an alert fires exactly once per burn episode, and a
+      resolution only follows a firing.
+    """
+
+    name = "slo-budget-conservation"
+    description = "budget accrued == consumed + remaining; one alert per episode"
+    rel_tol = 1e-9
+    abs_tol = 1e-6
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._trackers = None
+        self._last_state: dict[str, str | None] = {}
+        self._seen_alerts = 0
+
+    def is_active(self) -> bool:
+        return self.slos is not None
+
+    def _ensure(self):
+        if self._trackers is None:
+            # deferred: repro.obs.slo imports nothing from this module,
+            # but building at first hook lets the owning observer
+            # inject ``slos``/``classes`` after construction
+            from repro.obs.slo import SloObserver
+
+            if self.slos is None:
+                self._trackers = {}
+            else:
+                mirror = SloObserver(self.slos, classes=self.classes)
+                self._trackers = mirror.trackers
+                self._mirror = mirror
+        return self._trackers
+
+    def _advance(self, round_index) -> None:
+        if self._ensure():
+            self._mirror._advance(round_index)
+            self._drain(round_index)
+
+    def _drain(self, round_index) -> None:
+        # every tracker advance flows through the mirror observer, so
+        # its alert stream is the single complete transition record —
+        # the mirror's own hooks advance trackers internally, and
+        # transitions consumed there would be invisible to a direct
+        # ``advance_to`` call here
+        alerts = self._mirror.alerts
+        while self._seen_alerts < len(alerts):
+            event = alerts[self._seen_alerts]
+            self._seen_alerts += 1
+            name, state = event.slo, event.state
+            last = self._last_state.get(name)
+            if state == "firing" and last == "firing":
+                self.violation(
+                    f"slo {name!r}: alert fired twice without a "
+                    f"resolution between (burn episodes fire exactly "
+                    f"once)", round_index=event.round,
+                )
+            if state == "resolved" and last != "firing":
+                self.violation(
+                    f"slo {name!r}: resolution without a preceding "
+                    f"alert", round_index=event.round,
+                )
+            self._last_state[name] = state
+        for name in self._trackers:
+            self._conserved(name, round_index)
+
+    def _conserved(self, name, round_index) -> None:
+        tracker = self._trackers[name]
+        accrued = tracker.budget_units
+        consumed = float(tracker.bad_units)
+        remaining = tracker.remaining_units
+        closed_form = tracker.units * (1.0 - tracker.spec.target)
+        tol = self.abs_tol + self.rel_tol * max(1.0, abs(accrued))
+        if abs(accrued - (consumed + remaining)) > tol:
+            self.violation(
+                f"slo {name!r}: budget accrued {accrued!r} != consumed "
+                f"{consumed!r} + remaining {remaining!r}",
+                round_index=round_index,
+            )
+        if abs(accrued - closed_form) > tol:
+            self.violation(
+                f"slo {name!r}: budget accrued {accrued!r} drifted from "
+                f"{tracker.units} units * (1 - {tracker.spec.target}) "
+                f"= {closed_form!r}", round_index=round_index,
+            )
+
+    # mirror the SLO observer's unit recording exactly
+    def on_round(self, round_index, allocations, capacity, shard_id=None):
+        self._advance(round_index)
+
+    def on_capacity(self, capacity, round_index, shard_id=None):
+        self._advance(round_index)
+
+    def on_admit(self, spec, round_index, shard_id=None):
+        if self._ensure():
+            self._mirror.on_admit(spec, round_index, shard_id)
+            self._drain(round_index)
+
+    def on_reject(self, spec, round_index, shard_id=None):
+        if self._ensure():
+            self._mirror.on_reject(spec, round_index, shard_id)
+            self._drain(round_index)
+
+    def on_depart(self, outcome, round_index, shard_id=None):
+        if self._ensure():
+            self._mirror.on_depart(outcome, round_index, shard_id)
+            self._drain(round_index)
+
+    def finalize(self) -> None:
+        if self._ensure():
+            self._mirror.close()
+            self._drain(None)
+
+
 #: Named invariants, the ledger's registry (a standard policy family).
 INVARIANTS = PolicyRegistry("invariant")
 
@@ -608,6 +744,7 @@ register_invariant("migration-headroom", MigrationHeadroom)
 register_invariant("scale-conservation", ScaleConservation)
 register_invariant("pacing-degrade", PacingDegrade)
 register_invariant("pacing-scale-cooldown", PacingScaleCooldown)
+register_invariant("slo-budget-conservation", SloBudgetConservation)
 
 
 class InvariantObserver(RoundObserver):
@@ -626,9 +763,14 @@ class InvariantObserver(RoundObserver):
         SLA catalog for floor checks; a spec's ``service_classes`` is
         forwarded here automatically (the factory is registered
         ``sla_aware``).
+    slos:
+        Declared SLOs for the budget-conservation law; a spec's
+        ``slos`` is forwarded here automatically (the factory is
+        registered ``slo_aware``).  ``None`` leaves that law inert.
     """
 
-    def __init__(self, invariants=None, enforce: bool = False, classes=None):
+    def __init__(self, invariants=None, enforce: bool = False, classes=None,
+                 slos=None):
         self.enforce = enforce
         self.violations: list[Violation] = []
         self.invariants: list[Invariant] = []
@@ -647,8 +789,27 @@ class InvariantObserver(RoundObserver):
                     f"classes, or instances; got {entry!r}"
                 )
             invariant.classes = classes
+            invariant.slos = slos
             invariant.bind(self._record)
             self.invariants.append(invariant)
+        # per-hook dispatch lists, resolved once: most laws watch two
+        # or three hooks, so fanning every hook out to every invariant
+        # (and through every default no-op) was the observer's main
+        # cost on the overhead bench.  Inactive laws (is_active false —
+        # e.g. the budget law without declared SLOs) skip dispatch
+        # entirely but stay in the ledger.
+        active = [inv for inv in self.invariants if inv.is_active()]
+        self._hooked = {
+            hook: [
+                inv for inv in active
+                if getattr(type(inv), hook) is not getattr(RoundObserver, hook)
+            ]
+            for hook in (
+                "on_round", "on_admit", "on_reject", "on_preempt",
+                "on_migrate", "on_renegotiate", "on_depart",
+                "on_capacity", "on_scale",
+            )
+        }
 
     def _record(self, violation: Violation) -> None:
         self.violations.append(violation)
@@ -656,47 +817,47 @@ class InvariantObserver(RoundObserver):
             raise InvariantViolationError(violation)
 
     # ------------------------------------------------------------------
-    # dispatch every hook to every invariant
+    # dispatch each hook to the invariants that override it
     # ------------------------------------------------------------------
 
     def on_round(self, round_index, allocations, capacity, shard_id=None):
-        for invariant in self.invariants:
+        for invariant in self._hooked["on_round"]:
             invariant.on_round(round_index, allocations, capacity, shard_id)
 
     def on_admit(self, spec, round_index, shard_id=None):
-        for invariant in self.invariants:
+        for invariant in self._hooked["on_admit"]:
             invariant.on_admit(spec, round_index, shard_id)
 
     def on_reject(self, spec, round_index, shard_id=None):
-        for invariant in self.invariants:
+        for invariant in self._hooked["on_reject"]:
             invariant.on_reject(spec, round_index, shard_id)
 
     def on_preempt(self, spec, round_index, shard_id=None):
-        for invariant in self.invariants:
+        for invariant in self._hooked["on_preempt"]:
             invariant.on_preempt(spec, round_index, shard_id)
 
     def on_migrate(self, move, round_index):
-        for invariant in self.invariants:
+        for invariant in self._hooked["on_migrate"]:
             invariant.on_migrate(move, round_index)
 
     def on_renegotiate(
         self, stream_id, old_target, new_target, round_index, shard_id=None
     ):
-        for invariant in self.invariants:
+        for invariant in self._hooked["on_renegotiate"]:
             invariant.on_renegotiate(
                 stream_id, old_target, new_target, round_index, shard_id
             )
 
     def on_depart(self, outcome, round_index, shard_id=None):
-        for invariant in self.invariants:
+        for invariant in self._hooked["on_depart"]:
             invariant.on_depart(outcome, round_index, shard_id)
 
     def on_capacity(self, capacity, round_index, shard_id=None):
-        for invariant in self.invariants:
+        for invariant in self._hooked["on_capacity"]:
             invariant.on_capacity(capacity, round_index, shard_id)
 
     def on_scale(self, action, round_index):
-        for invariant in self.invariants:
+        for invariant in self._hooked["on_scale"]:
             invariant.on_scale(action, round_index)
 
     # ------------------------------------------------------------------

@@ -89,14 +89,26 @@ class MetricsRegistry:
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
 
+    # get-then-create, not setdefault: these run on every lifecycle
+    # hook, and setdefault would allocate a throwaway instrument per
+    # call once the name exists
     def counter(self, name: str) -> Counter:
-        return self.counters.setdefault(name, Counter(name))
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
 
     def gauge(self, name: str) -> Gauge:
-        return self.gauges.setdefault(name, Gauge(name))
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
 
     def histogram(self, name: str) -> Histogram:
-        return self.histograms.setdefault(name, Histogram(name))
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
 
     def snapshot(self) -> dict:
         """Plain-dict view of every instrument (JSON-safe)."""
@@ -149,6 +161,23 @@ class TelemetryObserver(RoundObserver):
         # hooks only carry the stream id, so per-class densities (the
         # SLA-weighted scale trigger) need this whole-run map
         self._class_of: dict[str, str] = {}
+        # instruments resolved once: every hook fires per round (or per
+        # stream event), so per-hook registry lookups are pure overhead
+        reg = self.registry
+        self._round_gauge = reg.gauge("round")
+        self._c_pool_rounds = reg.counter("pool_rounds")
+        self._c_admitted = reg.counter("admitted")
+        self._c_rejected = reg.counter("rejected")
+        self._c_preempted = reg.counter("preempted")
+        self._c_migrations = reg.counter("migrations")
+        self._c_renegotiations = reg.counter("renegotiations")
+        self._c_reneg_up = reg.counter("renegotiations_up")
+        self._c_reneg_down = reg.counter("renegotiations_down")
+        self._c_departed = reg.counter("departed")
+        self._c_capacity_events = reg.counter("capacity_events")
+        self._c_scale_actions = reg.counter("scale_actions")
+        self._h_headroom = reg.histogram("headroom")
+        self._h_departure_quality = reg.histogram("departure_quality")
 
     # ------------------------------------------------------------------
     # window bookkeeping
@@ -156,7 +185,11 @@ class TelemetryObserver(RoundObserver):
 
     def _fresh(self) -> dict:
         return {
-            "rounds": set(),
+            # distinct rounds tracked monotonically (hooks arrive in
+            # round order; a shard re-reporting the same round must not
+            # double-count), cheaper than a per-window set
+            "round_count": 0,
+            "last_round": -1,
             "pool_rounds": 0,
             "capacity": 0.0,
             "granted": 0.0,
@@ -181,11 +214,11 @@ class TelemetryObserver(RoundObserver):
             self.windows.append(self._summarize())
             self._index += 1
             self._acc = self._fresh()
-        self.registry.gauge("round").set(round_index)
+        self._round_gauge.value = round_index
 
     def _summarize(self) -> dict:
         acc = self._acc
-        rounds = len(acc["rounds"])
+        rounds = acc["round_count"]
         decided = acc["admitted"] + acc["rejected"]
         qualities = [
             q for qs in acc["class_quality"].values() for q in qs
@@ -246,14 +279,17 @@ class TelemetryObserver(RoundObserver):
         self._bump(round_index)
         acc = self._acc
         granted = sum(allocations.values()) if allocations else 0.0
-        acc["rounds"].add(round_index)
+        if round_index != acc["last_round"]:
+            acc["last_round"] = round_index
+            acc["round_count"] += 1
         acc["pool_rounds"] += 1
         acc["capacity"] += capacity
         acc["granted"] += granted
         acc["headroom"] += capacity - granted
-        acc["peak_streams"] = max(acc["peak_streams"], len(allocations))
-        self.registry.counter("pool_rounds").inc()
-        self.registry.histogram("headroom").observe(capacity - granted)
+        if len(allocations) > acc["peak_streams"]:
+            acc["peak_streams"] = len(allocations)
+        self._c_pool_rounds.value += 1
+        self._h_headroom.observe(capacity - granted)
 
     def on_admit(self, spec, round_index, shard_id=None):
         self._bump(round_index)
@@ -261,21 +297,21 @@ class TelemetryObserver(RoundObserver):
         self._class_of[spec.name] = (
             spec.service_class if spec.service_class is not None else "unclassed"
         )
-        self.registry.counter("admitted").inc()
+        self._c_admitted.value += 1
 
     def on_reject(self, spec, round_index, shard_id=None):
         self._bump(round_index)
         self._acc["rejected"] += 1
-        self.registry.counter("rejected").inc()
+        self._c_rejected.value += 1
 
     def on_preempt(self, spec, round_index, shard_id=None):
         self._bump(round_index)
         self._acc["preempted"] += 1
-        self.registry.counter("preempted").inc()
+        self._c_preempted.value += 1
 
     def on_migrate(self, move, round_index):
         self._bump(round_index)
-        self.registry.counter("migrations").inc()
+        self._c_migrations.value += 1
 
     def on_renegotiate(
         self, stream_id, old_target, new_target, round_index, shard_id=None
@@ -294,8 +330,11 @@ class TelemetryObserver(RoundObserver):
         acc["class_renegotiations"][key] = (
             acc["class_renegotiations"].get(key, 0) + 1
         )
-        self.registry.counter("renegotiations").inc()
-        self.registry.counter(direction).inc()
+        self._c_renegotiations.value += 1
+        if new_target > old_target:
+            self._c_reneg_up.value += 1
+        else:
+            self._c_reneg_down.value += 1
 
     def on_depart(self, outcome, round_index, shard_id=None):
         self._bump(round_index)
@@ -308,17 +347,17 @@ class TelemetryObserver(RoundObserver):
         )
         quality = outcome.result.mean_quality()
         acc["class_quality"].setdefault(key, []).append(quality)
-        self.registry.counter("departed").inc()
-        self.registry.histogram("departure_quality").observe(quality)
+        self._c_departed.value += 1
+        self._h_departure_quality.observe(quality)
 
     def on_capacity(self, capacity, round_index, shard_id=None):
         self._bump(round_index)
-        self.registry.counter("capacity_events").inc()
+        self._c_capacity_events.value += 1
 
     def on_scale(self, action, round_index):
         self._bump(round_index)
         self._acc["scale_actions"] += 1
-        self.registry.counter("scale_actions").inc()
+        self._c_scale_actions.value += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -344,10 +383,12 @@ class TelemetryObserver(RoundObserver):
         if self._closed:
             return
         acc = self._acc
-        if acc["rounds"] or acc["admitted"] or acc["rejected"]:
+        if acc["round_count"] or acc["admitted"] or acc["rejected"]:
             final = self._summarize()
             final["end_round"] = (
-                max(acc["rounds"]) + 1 if acc["rounds"] else final["end_round"]
+                acc["last_round"] + 1
+                if acc["round_count"]
+                else final["end_round"]
             )
             self.windows.append(final)
             self._index += 1

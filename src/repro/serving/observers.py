@@ -124,6 +124,22 @@ def phase_timing_enabled(observers) -> bool:
     )
 
 
+def phase_listeners(observers) -> tuple:
+    """The observers that actually override ``on_phase``.
+
+    Runners dispatch phase timings to this subset only: a typical
+    telemetry stack has one phase listener among several observers, and
+    fanning a few hundred phase reports per run out to base-class
+    no-ops is measurable overhead.
+    """
+    base = RoundObserver.on_phase
+    return tuple(
+        observer
+        for observer in observers
+        if getattr(type(observer), "on_phase", base) is not base
+    )
+
+
 class CountingObserver(RoundObserver):
     """Tallies every lifecycle event — the smoke-test observer.
 

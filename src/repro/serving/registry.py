@@ -349,11 +349,26 @@ def _perf_observer(**kwargs):
     return PerfObserver(**kwargs)
 
 
+def _slo_observer(**kwargs):
+    from repro.obs.slo import SloObserver
+
+    return SloObserver(**kwargs)
+
+
+def _trace_observer(**kwargs):
+    from repro.obs.tracing import TraceObserver
+
+    return TraceObserver(**kwargs)
+
+
 register_observer("telemetry", _telemetry_observer)
 register_observer("events", _event_log_observer)
-register_observer("invariants", _invariant_observer, sla_aware=True)
+register_observer("invariants", _invariant_observer, sla_aware=True,
+                  slo_aware=True)
 register_observer("perf", _perf_observer)
 register_observer("counting", CountingObserver)
+register_observer("slo", _slo_observer, sla_aware=True, slo_aware=True)
+register_observer("trace", _trace_observer)
 
 for _service_class in STANDARD_CLASSES:
     register_service_class(_service_class)

@@ -137,6 +137,54 @@ class ServingResult:
     def total_deadline_misses(self) -> int:
         return sum(o.result.deadline_miss_count for o in self.outcomes)
 
+    # ------------------------------------------------------------------
+    # observability views (SLOs, traces, incidents)
+    # ------------------------------------------------------------------
+
+    def _first_observer(self, cls):
+        return next(
+            (o for o in self.observers if isinstance(o, cls)), None
+        )
+
+    def slo_reports(self) -> tuple:
+        """Every declared SLO's end-of-run
+        :class:`~repro.obs.slo.SloReport` (empty without an attached
+        SLO observer — declare ``spec.slos`` to get one)."""
+        from repro.obs.slo import SloObserver
+
+        observer = self._first_observer(SloObserver)
+        return () if observer is None else observer.reports()
+
+    def alerts(self) -> tuple:
+        """Every burn-rate :class:`~repro.obs.events.AlertEvent` the
+        run's SLO observer fired or resolved, in order."""
+        from repro.obs.slo import SloObserver
+
+        observer = self._first_observer(SloObserver)
+        return () if observer is None else tuple(observer.alerts)
+
+    def traces(self) -> tuple:
+        """Every session's :class:`~repro.obs.tracing.TraceRecord`
+        (empty without an attached trace observer)."""
+        from repro.obs.tracing import TraceObserver
+
+        observer = self._first_observer(TraceObserver)
+        return () if observer is None else observer.records()
+
+    def incidents(self, **kwargs) -> tuple:
+        """Attributed :class:`~repro.obs.attribution.Incident` per
+        fired alert; needs both an SLO and a trace observer attached
+        (post-hoc and pure — calling this cannot change the run)."""
+        from repro.obs.attribution import attribute_incidents
+        from repro.obs.slo import SloObserver
+        from repro.obs.tracing import TraceObserver
+
+        slo = self._first_observer(SloObserver)
+        trace = self._first_observer(TraceObserver)
+        if slo is None or trace is None:
+            return ()
+        return attribute_incidents(slo, trace, **kwargs)
+
     def summary(self) -> dict:
         """Topology-independent headline numbers (stable keys).
 

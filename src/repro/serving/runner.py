@@ -67,20 +67,27 @@ def _coerce_spec(spec) -> ServingSpec:
     )
 
 
-def _create(registry, policy: PolicySpec, field_name: str, *args, classes=None):
+def _create(registry, policy: PolicySpec, field_name: str, *args,
+            classes=None, slos=None):
     """Registry create with kwarg mistakes reported against the field.
 
     ``classes`` is the spec's ``service_classes`` catalog: factories
     registered with ``sla_aware=True`` metadata receive it as their
     ``classes`` kwarg unless the policy's own kwargs already name one.
+    ``slos`` works the same way for ``slo_aware=True`` factories (the
+    spec's declared objectives reach the SLO observer and the
+    invariant ledger's budget-conservation law).
     """
     kwargs = policy.kwargs
+    meta = registry.meta(policy.name)
     if (
         classes is not None
         and "classes" not in kwargs
-        and registry.meta(policy.name).get("sla_aware")
+        and meta.get("sla_aware")
     ):
         kwargs = {**kwargs, "classes": classes}
+    if slos is not None and "slos" not in kwargs and meta.get("slo_aware"):
+        kwargs = {**kwargs, "slos": slos}
     try:
         return registry.create(policy.name, *args, **kwargs)
     except TypeError as error:
@@ -183,13 +190,50 @@ def build_runner(
     )
 
 
-def build_observers(spec: ServingSpec) -> tuple:
-    """Instantiate the spec's declared observers from the registry."""
-    return tuple(
+def build_observers(spec: ServingSpec, existing: Sequence = ()) -> tuple:
+    """Instantiate the spec's declared observers from the registry.
+
+    A spec that declares ``slos`` gets an
+    :class:`~repro.obs.slo.SloObserver` evaluating them appended
+    automatically, unless its ``observers`` list already names one
+    (declare ``{"name": "slo", "kwargs": {...}}`` to override the
+    wiring) or ``existing`` — the caller-passed instances — already
+    contains one (the CLI builds its own to watch live status).
+    """
+    built = [
         _create(OBSERVERS, policy, "observers",
-                classes=spec.service_classes)
+                classes=spec.service_classes, slos=spec.slos)
         for policy in spec.observers
+    ]
+    if spec.slos is not None and not any(
+        policy.name == "slo" for policy in spec.observers
+    ):
+        from repro.obs.slo import SloObserver
+
+        if not any(isinstance(o, SloObserver) for o in existing):
+            built.append(_create(
+                OBSERVERS, PolicySpec("slo"), "slos",
+                classes=spec.service_classes, slos=spec.slos,
+            ))
+    return tuple(built)
+
+
+def _wire_observers(observers) -> None:
+    """Point every sink-less SLO observer at the run's first event log,
+    so burn-rate alerts interleave into the JSONL event stream."""
+    # deferred import: the obs layer builds on serving (registry-factory
+    # pattern)
+    from repro.obs.events import StructuredEventLog
+    from repro.obs.slo import SloObserver
+
+    log = next(
+        (o for o in observers if isinstance(o, StructuredEventLog)), None
     )
+    if log is None:
+        return
+    for observer in observers:
+        if isinstance(observer, SloObserver) and observer.sink is None:
+            observer.sink = log
 
 
 def _close_observers(observers) -> None:
@@ -216,7 +260,10 @@ def serve(spec, observers: Sequence = ()) -> ServingResult:
     """
     spec = _coerce_spec(spec)
     scenario = build_scenario(spec)
-    all_observers = tuple(observers) + build_observers(spec)
+    all_observers = tuple(observers) + build_observers(
+        spec, existing=observers
+    )
+    _wire_observers(all_observers)
     runner = build_runner(spec, scenario=scenario, observers=all_observers)
     try:
         raw = runner.run(scenario)

@@ -44,6 +44,11 @@ Field reference
 ``observers``      telemetry attached by name (``OBSERVERS``): windowed
                    metrics, event logs, invariant checks, phase timing;
                    built observers are closed when the run ends
+``slos``           declared service-level objectives (``SloSpec`` dicts
+                   or instances); ``serve`` attaches an
+                   ``SloObserver`` evaluating them as rolling error
+                   budgets with burn-rate alerts, reported on
+                   ``ServingResult.slo_reports()``
 =================  ====================================================
 
 Policy fields accept a bare name string as shorthand for
@@ -167,6 +172,7 @@ class ServingSpec:
     service_classes: tuple[ServiceClass, ...] | None = None
     renegotiation: PolicySpec | None = None
     observers: tuple[PolicySpec, ...] = ()
+    slos: tuple = None
 
     # ------------------------------------------------------------------
     # eager validation — every error names its field
@@ -186,6 +192,7 @@ class ServingSpec:
                 object.__setattr__(self, name, PolicySpec.coerce(value, name))
         self._validate_observers()
         self._validate_service_classes()
+        self._validate_slos()
 
         if self.topology not in TOPOLOGIES:
             raise ConfigurationError(
@@ -301,6 +308,26 @@ class ServingSpec:
             self, "service_classes", tuple(catalog.values())
         )
 
+    def _validate_slos(self) -> None:
+        if self.slos is None:
+            return
+        # deferred: the obs layer builds on serving, so importing it at
+        # module scope would cycle (the registry-factory pattern)
+        from repro.obs.slo import resolve_slos
+
+        if isinstance(self.slos, (str, Mapping)) or not hasattr(
+            self.slos, "__iter__"
+        ):
+            raise ConfigurationError(
+                "slos: expected a list of slo dicts or SloSpec "
+                f"instances, got {type(self.slos).__name__}"
+            )
+        try:
+            resolved = resolve_slos(list(self.slos))
+        except ConfigurationError as error:
+            raise ConfigurationError(f"slos: {error}") from None
+        object.__setattr__(self, "slos", resolved)
+
     def _validate_capacity(self) -> None:
         if self.topology == "cluster":
             if self.capacity is not None:
@@ -389,6 +416,11 @@ class ServingSpec:
             ),
             "renegotiation": policy(self.renegotiation),
             "observers": [p.to_dict() for p in self.observers],
+            "slos": (
+                None
+                if self.slos is None
+                else [s.to_dict() for s in self.slos]
+            ),
         }
 
     @classmethod

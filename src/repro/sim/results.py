@@ -128,8 +128,17 @@ class RunResult:
         return float(np.nanmean(values)) if len(values) else math.nan
 
     def mean_quality(self) -> float:
+        # memoized per frame count: every attached observer reads this
+        # at departure, and the frames list only ever grows (appends
+        # invalidate the key), so repeat calls on a finished session
+        # skip the whole-run pass
+        cached = getattr(self, "_mean_quality_memo", None)
+        if cached is not None and cached[0] == len(self.frames):
+            return cached[1]
         values = [f.mean_quality for f in self.frames if not f.skipped]
-        return float(np.mean(values)) if values else math.nan
+        result = float(np.mean(values)) if values else math.nan
+        self._mean_quality_memo = (len(self.frames), result)
+        return result
 
     def max_latency(self) -> float:
         values = [f.latency for f in self.frames if not math.isnan(f.latency)]

@@ -388,12 +388,14 @@ class FleetRunner:
             rounds=0,
         )
         timed = False
+        phase_observers: tuple = ()
         if self.observers:
             # imported lazily — the streams layer never depends on
             # repro.serving at import time
-            from repro.serving.observers import phase_timing_enabled
+            from repro.serving.observers import phase_listeners
 
-            timed = phase_timing_enabled(self.observers)
+            phase_observers = phase_listeners(self.observers)
+            timed = bool(phase_observers)
             for observer in self.observers:
                 observer.on_capacity(self.capacity, 0)
         active: list[StreamSession] = []
@@ -458,7 +460,7 @@ class FleetRunner:
                     self._admit(spec, round_index, active, spec_of, admitted_round)
             if timed:
                 now = perf_counter()
-                for observer in self.observers:
+                for observer in phase_observers:
                     observer.on_phase("admission", now - t0, round_index)
                 t0 = now
             # 3 + 4. arbitrate and step
@@ -480,7 +482,7 @@ class FleetRunner:
                 allocations = self.arbiter.allocate(requests, self.capacity)
             if timed:
                 now = perf_counter()
-                for observer in self.observers:
+                for observer in phase_observers:
                     observer.on_phase("arbitration", now - t0, round_index)
                 t0 = now
             for observer in self.observers:
@@ -530,7 +532,7 @@ class FleetRunner:
                 active = still_active
             if timed:
                 now = perf_counter()
-                for observer in self.observers:
+                for observer in phase_observers:
                     observer.on_phase("step", now - t0, round_index)
             round_index += 1
         result.rounds = round_index

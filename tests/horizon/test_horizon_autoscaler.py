@@ -85,6 +85,7 @@ class TestScaleAction:
         assert action.to_dict() == {
             "kind": "split", "shards": ["shard-0"],
             "capacities": [1e6, 2e6], "reason": "why", "created": [],
+            "action_id": "",
         }
 
 

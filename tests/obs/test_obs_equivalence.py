@@ -15,8 +15,11 @@ import pytest
 from repro.obs import (
     InvariantObserver,
     PerfObserver,
+    SloObserver,
+    SloSpec,
     StructuredEventLog,
     TelemetryObserver,
+    TraceObserver,
 )
 from repro.serving import serve
 
@@ -79,6 +82,16 @@ def cluster_spec(name, kwargs):
     return spec
 
 
+#: Class-agnostic objectives with explicit thresholds, attachable to
+#: every scenario (most generators declare no service-class catalog).
+GENERIC_SLOS = (
+    SloSpec(name="any-quality", objective="quality", threshold=0.3,
+            target=0.9, fast_window=3, slow_window=8),
+    SloSpec(name="any-acceptance", objective="acceptance", target=0.9,
+            fast_window=3, slow_window=8),
+)
+
+
 #: Every combination exercised: single observers, pairs, and the full
 #: stack (including enforcement, which must also pass cleanly).
 def observer_combos():
@@ -87,6 +100,8 @@ def observer_combos():
         ("events", lambda: [StructuredEventLog()]),
         ("invariants", lambda: [InvariantObserver()]),
         ("perf", lambda: [PerfObserver()]),
+        ("trace", lambda: [TraceObserver(segment_rounds=3)]),
+        ("slo", lambda: [SloObserver(GENERIC_SLOS)]),
         ("events+perf", lambda: [StructuredEventLog(), PerfObserver()]),
         (
             "full-stack-enforced",
@@ -95,6 +110,17 @@ def observer_combos():
                 StructuredEventLog(),
                 InvariantObserver(enforce=True),
                 PerfObserver(),
+            ],
+        ),
+        (
+            "full-traced-stack",
+            lambda: [
+                TelemetryObserver(window=3),
+                StructuredEventLog(),
+                InvariantObserver(enforce=True, slos=GENERIC_SLOS),
+                PerfObserver(),
+                TraceObserver(),
+                SloObserver(GENERIC_SLOS),
             ],
         ),
     ]

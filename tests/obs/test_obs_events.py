@@ -9,9 +9,11 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.obs import (
     AdmitEvent,
+    AlertEvent,
     DepartEvent,
     RejectEvent,
     RoundEvent,
+    ScaleEvent,
     StructuredEventLog,
     event_from_dict,
     event_to_line,
@@ -77,6 +79,43 @@ class TestRoundTrip:
         serve(SLA_SPEC, observers=[log])
         # serve() closed the handle; the streamed file equals to_jsonl()
         assert path.read_text() == log.to_jsonl()
+
+    def test_alert_event_round_trips(self):
+        import json
+
+        event = AlertEvent(
+            round=42, shard=None, slo="gold-quality", state="firing",
+            fast_burn=5.25, slow_burn=2.5, budget_remaining=-0.125,
+        )
+        back = event_from_dict(json.loads(event_to_line(event)))
+        assert back == event and back.kind == "alert"
+
+    def test_scale_event_keeps_its_action_id(self):
+        import json
+
+        event = ScaleEvent(
+            round=7, shard=None, action="add",
+            sources=("shard-0",), capacities=(16e6,),
+            created=("shard-2",), reason="sustained pressure",
+            action_id="scale-3",
+        )
+        back = event_from_dict(json.loads(event_to_line(event)))
+        assert back == event and back.action_id == "scale-3"
+
+    def test_declared_slos_interleave_alerts_into_the_log(self):
+        spec = dict(SLA_SPEC)
+        spec["capacity"] = {"utilization": 0.4}
+        spec["slos"] = [{
+            "name": "any-quality", "objective": "quality",
+            "threshold": 0.8, "target": 0.9,
+            "fast_window": 3, "slow_window": 8, "burn_threshold": 1.5,
+        }]
+        log = _run(spec)
+        alerts = [e for e in log.events if isinstance(e, AlertEvent)]
+        assert alerts and alerts[0].state == "firing"
+        # interleaved deterministically and round-trippable in place
+        assert parse_events(log.to_jsonl()) == log.events
+        assert _run(spec).to_jsonl() == log.to_jsonl()
 
     def test_nan_quality_serializes_as_null(self):
         event = DepartEvent(

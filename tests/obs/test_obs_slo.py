@@ -1,0 +1,279 @@
+"""The SLO engine: spec validation, tracker arithmetic, burn alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    AlertEvent,
+    SloObserver,
+    SloReport,
+    SloSpec,
+    SloTracker,
+    StructuredEventLog,
+    resolve_slos,
+)
+from repro.serving import serve
+
+SLA_SPEC = {
+    "scenario": {"name": "gold-rush",
+                 "kwargs": {"bronze": 4, "gold": 2, "crowd_round": 2,
+                            "frames": 6, "scale": 27}},
+    "capacity": {"utilization": 1 / 1.5},
+    "arbiter": "sla-quality-fair",
+    "admission": "priority",
+    "renegotiation": {"name": "step", "kwargs": {"patience": 1, "step": 0.3}},
+    "service_classes": ["gold", "silver", "bronze"],
+}
+
+GOLD_QUALITY = SloSpec(
+    name="gold-quality", objective="quality", service_class="gold",
+    threshold=0.5, target=0.9, fast_window=3, slow_window=10,
+)
+ALL_ACCEPTANCE = SloSpec(
+    name="all-acceptance", objective="acceptance", target=0.9,
+    fast_window=3, slow_window=10,
+)
+
+
+class TestSpecValidation:
+    def test_round_trips_through_dict(self):
+        for spec in (GOLD_QUALITY, ALL_ACCEPTANCE):
+            assert SloSpec.from_dict(spec.to_dict()) == spec
+
+    def test_resolve_accepts_specs_and_dicts(self):
+        resolved = resolve_slos([GOLD_QUALITY, ALL_ACCEPTANCE.to_dict()])
+        assert resolved == (GOLD_QUALITY, ALL_ACCEPTANCE)
+        # a single bare spec or dict is promoted to a one-tuple
+        assert resolve_slos(GOLD_QUALITY) == (GOLD_QUALITY,)
+        assert resolve_slos(GOLD_QUALITY.to_dict()) == (GOLD_QUALITY,)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate slo name"):
+            resolve_slos([GOLD_QUALITY, GOLD_QUALITY])
+
+    def test_empty_slos_rejected(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            resolve_slos([])
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError, match="objective"):
+            SloSpec(name="x", objective="latency")
+
+    def test_acceptance_takes_no_threshold(self):
+        with pytest.raises(ConfigurationError, match="no\\s+quality threshold"):
+            SloSpec(name="x", objective="acceptance", threshold=0.5)
+
+    def test_quality_needs_threshold_or_class(self):
+        with pytest.raises(ConfigurationError, match="explicit threshold"):
+            SloSpec(name="x", objective="quality")
+
+    def test_threshold_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="threshold"):
+            SloSpec(name="x", objective="quality", threshold=1.5)
+
+    def test_target_must_be_open_interval_float(self):
+        with pytest.raises(ConfigurationError, match="target"):
+            SloSpec(name="x", objective="quality", threshold=0.5, target=1.0)
+        with pytest.raises(ConfigurationError, match="target"):
+            SloSpec(name="x", objective="quality", threshold=0.5, target=1)
+
+    def test_fast_window_must_be_shorter(self):
+        with pytest.raises(ConfigurationError, match="fast_window"):
+            SloSpec(name="x", objective="quality", threshold=0.5,
+                    fast_window=60, slow_window=60)
+
+    def test_window_type_checked(self):
+        with pytest.raises(ConfigurationError, match="fast_window"):
+            SloSpec(name="x", objective="quality", threshold=0.5,
+                    fast_window=True)
+
+    def test_burn_threshold_positive(self):
+        with pytest.raises(ConfigurationError, match="burn_threshold"):
+            SloSpec(name="x", objective="quality", threshold=0.5,
+                    burn_threshold=0.0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown slo field"):
+            SloSpec.from_dict({"name": "x", "objective": "quality",
+                               "threshold": 0.5, "latency": 1})
+
+    def test_from_dict_requires_name_and_objective(self):
+        with pytest.raises(ConfigurationError, match="'name'"):
+            SloSpec.from_dict({"objective": "quality", "threshold": 0.5})
+        with pytest.raises(ConfigurationError, match="'objective'"):
+            SloSpec.from_dict({"name": "x", "threshold": 0.5})
+
+
+class TestTracker:
+    """The burn-rate state machine, on a hand-checkable unit stream.
+
+    One unit per round against ``target=0.9`` (``fast=2``, ``slow=5``,
+    ``burn_threshold=2``): rounds 0-3 good, 4-9 bad, 10-15 good.  The
+    alert must fire at the first bad round (fast window {3,4} has a
+    1/2 bad fraction = 5x burn; slow window {0..4} has 1/5 = 2x, right
+    at the threshold) and resolve at round 11, the first evaluation
+    whose fast window {10,11} is clean again.
+    """
+
+    SPEC = SloSpec(
+        name="t", objective="quality", threshold=0.5, target=0.9,
+        fast_window=2, slow_window=5, burn_threshold=2.0,
+    )
+
+    def drive(self):
+        tracker = SloTracker(self.SPEC, threshold=0.5)
+        transitions = []
+        for r in range(16):
+            transitions.extend(tracker.advance_to(r))
+            tracker.record(r, f"s{r}", good=not 4 <= r <= 9)
+        transitions.extend(tracker.finish())
+        return tracker, transitions
+
+    def test_fires_and_resolves_once_each(self):
+        tracker, transitions = self.drive()
+        assert [(state, r) for state, r, _, _ in transitions] == [
+            ("firing", 4), ("resolved", 11),
+        ]
+        assert tracker.alert_count == 1
+        assert not tracker.alert_active
+
+    def test_burn_rates_at_the_transitions(self):
+        _, transitions = self.drive()
+        (_, _, fast_fire, slow_fire), (_, _, fast_ok, slow_ok) = transitions
+        # fast {3,4}: 1 bad of 2; slow {0..4}: 1 bad of 5; rate 0.1
+        assert fast_fire == pytest.approx(5.0)
+        assert slow_fire == pytest.approx(2.0)
+        # fast {10,11}: clean; slow {7..11}: 3 bad of 5
+        assert fast_ok == 0.0
+        assert slow_ok == pytest.approx(6.0)
+
+    def test_budget_books_balance(self):
+        tracker, _ = self.drive()
+        rate = 1.0 - self.SPEC.target
+        assert tracker.units == 16
+        assert tracker.bad_units == 6
+        assert tracker.budget_units == pytest.approx(16 * rate)
+        # dual ledgers: accrued == consumed + remaining
+        assert tracker.budget_units == pytest.approx(
+            tracker.bad_units + tracker.remaining_units
+        )
+        assert tracker.remaining_share() == pytest.approx(
+            tracker.remaining_units / tracker.budget_units
+        )
+
+    def test_report_carries_the_verdict(self):
+        tracker, _ = self.drive()
+        report = tracker.report()
+        assert report.units == 16
+        assert report.bad_units == 6
+        assert report.good_fraction == pytest.approx(10 / 16)
+        assert not report.met
+        assert report.alerts == 1
+        assert report.time_to_first_burn == 4
+        # rounds {4,5}..{9,10} hold a fully-bad fast window: 10x burn
+        assert report.worst_fast_burn == pytest.approx(10.0)
+        assert report.budget_remaining < 0.0
+
+    def test_empty_tracker_is_trivially_met(self):
+        tracker = SloTracker(self.SPEC, threshold=0.5)
+        assert tracker.finish() == []
+        report = tracker.report()
+        assert report.units == 0
+        assert report.met
+        assert report.budget_remaining == 1.0
+        assert report.time_to_first_burn is None
+
+    def test_unit_and_bad_logs_are_the_durable_evidence(self):
+        tracker, _ = self.drive()
+        assert len(tracker.unit_log) == 16
+        assert [r for r, _ in tracker.bad_log] == list(range(4, 10))
+
+
+class TestReportRoundTrip:
+    def test_report_round_trips_through_dict(self):
+        tracker = SloTracker(TestTracker.SPEC, threshold=0.5)
+        tracker.record(0, "a", good=True)
+        tracker.record(1, "b", good=False)
+        tracker.finish()
+        report = tracker.report()
+        assert SloReport.from_dict(report.to_dict()) == report
+
+    def test_unknown_and_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing fields"):
+            SloReport.from_dict({"name": "x"})
+        tracker = SloTracker(TestTracker.SPEC, threshold=0.5)
+        payload = tracker.report().to_dict()
+        payload["extra"] = 1
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            SloReport.from_dict(payload)
+
+
+class TestObserverOnRuns:
+    def observe(self, sink=None):
+        observer = SloObserver(
+            [GOLD_QUALITY, ALL_ACCEPTANCE],
+            classes=SLA_SPEC["service_classes"],
+            sink=sink,
+        )
+        result = serve(SLA_SPEC, observers=[observer])
+        return result, observer
+
+    def test_units_match_the_serving_decisions(self):
+        result, observer = self.observe()
+        reports = {r.name: r for r in observer.reports()}
+        gold_departs = sum(
+            1 for o in result.outcomes if o.spec.service_class == "gold"
+        )
+        assert reports["gold-quality"].units == gold_departs > 0
+        # the class-less acceptance objective sees every decision
+        assert reports["all-acceptance"].units == (
+            result.served_count + result.rejected_count
+        )
+        assert reports["all-acceptance"].bad_units == result.rejected_count
+
+    def test_identical_runs_report_identically(self):
+        _, first = self.observe()
+        _, second = self.observe()
+        assert first.reports() == second.reports()
+        assert [a.to_dict() for a in first.alerts] == [
+            a.to_dict() for a in second.alerts
+        ]
+
+    def test_alerts_stream_into_the_event_sink(self):
+        log = StructuredEventLog()
+        _, observer = self.observe(sink=log)
+        observer.close()
+        logged = [e for e in log.events if isinstance(e, AlertEvent)]
+        assert [e.to_dict() for e in logged] == [
+            e.to_dict() for e in observer.alerts
+        ]
+
+    def test_spec_declared_slos_reach_the_result(self):
+        spec = dict(SLA_SPEC)
+        spec["slos"] = [GOLD_QUALITY.to_dict(), ALL_ACCEPTANCE.to_dict()]
+        result = serve(spec)
+        reports = {r.name: r for r in result.slo_reports()}
+        _, manual = self.observe()
+        expected = {r.name: r for r in manual.reports()}
+        assert reports == expected
+        assert [a.to_dict() for a in result.alerts()] == [
+            a.to_dict() for a in manual.alerts
+        ]
+
+    def test_class_threshold_defaults_from_target_quality(self):
+        defaulted = SloSpec(
+            name="gold-default", objective="quality", service_class="gold",
+        )
+        observer = SloObserver(
+            [defaulted], classes=SLA_SPEC["service_classes"]
+        )
+        tracker = observer.trackers["gold-default"]
+        assert tracker.threshold is not None and 0.0 < tracker.threshold <= 1.0
+
+    def test_unknown_class_cannot_default(self):
+        with pytest.raises(ConfigurationError, match="class catalog"):
+            SloObserver([SloSpec(
+                name="x", objective="quality", service_class="platinum",
+            )], classes=SLA_SPEC["service_classes"])
